@@ -1,0 +1,52 @@
+# Developer entry points. Everything is stdlib Go; no external deps.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench fuzz experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/engine ./internal/dynamic ./internal/exp
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/hypergraph
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/pattern
+
+# Regenerate the paper's tables and figures (minutes; see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/ohmbench -exp all -budget 45s
+
+experiments-quick:
+	$(GO) run ./cmd/ohmbench -exp all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/proteincomplex
+	$(GO) run ./examples/coauthorship
+	$(GO) run ./examples/contagion
+	$(GO) run ./examples/streaming
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

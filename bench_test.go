@@ -1,0 +1,197 @@
+package ohminer
+
+// One testing.B benchmark per paper table/figure (delegating to the
+// internal/exp harness in quick mode), plus per-variant and per-kernel
+// micro-benchmarks. `go test -bench=. -benchmem` regenerates the numbers
+// EXPERIMENTS.md records; `cmd/ohmbench` runs the full-scale grids.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ohminer/internal/engine"
+	"ohminer/internal/exp"
+	"ohminer/internal/intset"
+	"ohminer/internal/pattern"
+)
+
+var (
+	benchCtxOnce sync.Once
+	benchCtx     *exp.Context
+)
+
+func benchContext() *exp.Context {
+	benchCtxOnce.Do(func() { benchCtx = exp.NewContext() })
+	return benchCtx
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := benchContext()
+	opts := exp.RunOpts{Quick: true, Seed: 42, Workers: 1, CellBudget: 30 * time.Second}
+	// Warm the dataset cache outside the timed region.
+	if _, err := e.Run(c, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(c, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig03 regenerates the HGMatch characteristics study (Fig. 3).
+func BenchmarkFig03(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig12 regenerates the headline OHMiner-vs-HGMatch grid (Fig. 12).
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkTable05 regenerates the absolute-time table (Table 5).
+func BenchmarkTable05(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkFig13 regenerates the OHM-V validation study (Fig. 13).
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates the labeled-HPM comparison (Fig. 14).
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig15 regenerates the optimization ablation (Fig. 15).
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+
+// BenchmarkFig16 regenerates the thread-scalability sweep (Fig. 16).
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+
+// BenchmarkFig17a regenerates the large-hypergraph study (Fig. 17(a)).
+func BenchmarkFig17a(b *testing.B) { benchExperiment(b, "fig17a") }
+
+// BenchmarkFig17b regenerates the dense-pattern study (Fig. 17(b)).
+func BenchmarkFig17b(b *testing.B) { benchExperiment(b, "fig17b") }
+
+// BenchmarkTable06 regenerates the overhead accounting (Table 6).
+func BenchmarkTable06(b *testing.B) { benchExperiment(b, "table6") }
+
+// BenchmarkMineVariants times one fixed p3 workload on SB under every
+// system variant — the per-query view behind the speedup grids.
+func BenchmarkMineVariants(b *testing.B) {
+	store, err := benchContext().Dataset("SB")
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := pattern.Setting{Name: "p3", NumEdges: 3, VertMin: 10, VertMax: 20, Count: 1}
+	pats, err := pattern.SampleSet(store.Hypergraph(), set, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := pats[0]
+	for _, v := range engine.Variants() {
+		b.Run(v.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := engine.Mine(store, p, engine.Options{Gen: v.Gen, Val: v.Val, Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Ordered == 0 {
+					b.Fatal("no embeddings")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelAblation compares the fast (SIMD stand-in) and scalar set
+// kernels on the same workload — the "OHMiner without SIMD" data point of
+// Sec. 5.2.
+func BenchmarkKernelAblation(b *testing.B) {
+	store, err := benchContext().Dataset("WT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := pattern.Setting{Name: "p3", NumEdges: 3, VertMin: 10, VertMax: 20, Count: 1}
+	pats, err := pattern.SampleSet(store.Hypergraph(), set, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := pats[0]
+	for _, k := range []intset.Kernel{intset.Fast, intset.Scalar} {
+		b.Run(k.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Mine(store, p, engine.Options{Kernel: k, Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMergeAblation isolates the compiler's merge optimization: the
+// same DAL generation with the merged plan (class-minimal checks) vs the
+// simple plan (every non-implied overlap checked) — one of the design
+// choices DESIGN.md calls out.
+func BenchmarkMergeAblation(b *testing.B) {
+	store, err := benchContext().Dataset("SB")
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := pattern.Setting{Name: "p4", NumEdges: 4, VertMin: 10, VertMax: 30, Count: 1}
+	pats, err := pattern.SampleSet(store.Hypergraph(), set, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := pats[0]
+	for _, cfg := range []struct {
+		name string
+		val  engine.ValMode
+	}{
+		{"merged", engine.ValOverlap},
+		{"simple", engine.ValOverlapSimple},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Mine(store, p, engine.Options{Val: cfg.val, Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanCompile times the redundancy-free compiler (OIG-T, Table 6).
+func BenchmarkPlanCompile(b *testing.B) {
+	store, err := benchContext().Dataset("SB")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := SamplePattern(store.Hypergraph(), 6, 6, 60, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompilePattern(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreBuild times DAL construction (DAL-T, Table 6).
+func BenchmarkStoreBuild(b *testing.B) {
+	store, err := benchContext().Dataset("CH")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := store.Hypergraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewStore(h)
+	}
+}

@@ -1,0 +1,69 @@
+// Command ohmbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	ohmbench -list
+//	ohmbench -exp fig12            # one experiment, full grid
+//	ohmbench -exp all -quick       # everything, trimmed grid
+//	ohmbench -exp table5 -seed 7 -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ohminer/internal/exp"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "all", "experiment id (fig3, fig12, table5, fig13, fig14, fig15, fig16, fig17a, fig17b, table6) or 'all'")
+		quick   = flag.Bool("quick", false, "trim datasets and pattern settings for a fast run")
+		seed    = flag.Int64("seed", 42, "pattern sampling seed")
+		workers = flag.Int("workers", 0, "mining workers (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		budget  = flag.Duration("budget", 45*time.Second, "time budget per (dataset, setting, system) cell; 0 = unbounded")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	exp.Progress = os.Stderr
+	opts := exp.RunOpts{Quick: *quick, Seed: *seed, Workers: *workers, CellBudget: *budget}
+	var todo []exp.Experiment
+	if *expID == "all" {
+		todo = exp.Experiments()
+	} else {
+		e, err := exp.ByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		todo = []exp.Experiment{e}
+	}
+
+	ctx := exp.NewContext()
+	for _, e := range todo {
+		fmt.Printf("# %s — %s\n", e.ID, e.Title)
+		start := time.Now()
+		tables, err := e.Run(ctx, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

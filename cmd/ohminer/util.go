@@ -1,0 +1,11 @@
+package main
+
+import (
+	"math/rand"
+
+	"ohminer/internal/intset"
+)
+
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func scalarKernel() intset.Kernel { return intset.Scalar }

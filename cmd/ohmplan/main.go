@@ -1,0 +1,94 @@
+// Command ohmplan inspects the redundancy-free compiler's output for a
+// pattern: the Overlap Intersection Graph (Figure 8 style), the overlap
+// order, the connectivity groups used by group-based pruning, and the
+// overlap-centric execution plan (Table 1 style), with the structural
+// verifier run over the result.
+//
+//	ohmplan -pattern "0 1 2 3 4 5; 3 4 5 6 7 8; 3 4 5 6 7 9 10 11"
+//	ohmplan -pattern "0 1; 1 2; 0 2" -mode simple
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ohminer/internal/oig"
+	"ohminer/internal/pattern"
+	"ohminer/internal/venn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ohmplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		lit  = flag.String("pattern", "", "pattern literal, e.g. \"0 1 2; 2 3 4\"")
+		mode = flag.String("mode", "merged", "plan mode: merged (full OHMiner) or simple (IEP only)")
+	)
+	flag.Parse()
+	if *lit == "" {
+		return fmt.Errorf("need -pattern LITERAL")
+	}
+	p, err := pattern.Parse(*lit)
+	if err != nil {
+		return err
+	}
+	var m oig.Mode
+	switch *mode {
+	case "merged":
+		m = oig.ModeMerged
+	case "simple":
+		m = oig.ModeSimple
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	fmt.Printf("pattern: %s  (%d hyperedges, %d vertices, %d automorphisms)\n",
+		p, p.NumEdges(), p.NumVertices(), p.Automorphisms())
+
+	plan, err := oig.Compile(p, m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("matching order: %v (original indices)\n", plan.Order)
+
+	fmt.Println("\nOverlap Intersection Graph (reordered pattern):")
+	fmt.Print(plan.Graph)
+
+	fmt.Println("overlap order (node IDs):", plan.Graph.OverlapOrder())
+
+	s := plan.Sig
+	pairConn := func(i, j int) bool { return s.Size(uint32(1<<i|1<<j)) > 0 }
+	for lvl := 1; lvl <= plan.Graph.NumLevels(); lvl++ {
+		groups := plan.Graph.Groups(lvl, pairConn)
+		if len(groups) > 1 {
+			fmt.Printf("level %d pruning groups: %v\n", lvl, groups)
+		}
+	}
+
+	fmt.Println("\nVenn regions of the pattern:")
+	regions, err := venn.Regions(plan.Pattern.Edges())
+	if err != nil {
+		return err
+	}
+	for _, r := range regions {
+		if r.Size > 0 {
+			fmt.Printf("  %-24s %d\n", r.Expr(p.NumEdges()), r.Size)
+		}
+	}
+
+	fmt.Println("\nexecution plan:")
+	fmt.Print(plan)
+	fmt.Printf("compiled in %v; op counts: %v\n", plan.CompileTime, plan.NumOps())
+
+	if err := oig.Verify(plan); err != nil {
+		return fmt.Errorf("plan verification FAILED: %w", err)
+	}
+	fmt.Println("plan verification: OK")
+	return nil
+}

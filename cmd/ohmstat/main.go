@@ -1,0 +1,119 @@
+// Command ohmstat inspects a hypergraph: the Table 3 summary statistics,
+// hyperedge-degree histogram, overlap/connection density, and DAL
+// preprocessing cost — the numbers one needs before choosing mining
+// parameters.
+//
+//	ohmstat -dataset SB
+//	ohmstat -input data.hg -density "6 6 8"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ohminer/internal/dal"
+	"ohminer/internal/gen"
+	"ohminer/internal/hypergraph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ohmstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		input   = flag.String("input", "", "hypergraph file (text format)")
+		dataset = flag.String("dataset", "", "Table 3 preset tag instead of a file")
+		density = flag.String("density", "", "degrees (space-separated) for a connection-density probe, e.g. \"6 6 8\"")
+		noDAL   = flag.Bool("nodal", false, "skip DAL construction timing")
+		seed    = flag.Int64("seed", 1, "sampling seed for the density probe")
+	)
+	flag.Parse()
+
+	var (
+		h   *hypergraph.Hypergraph
+		err error
+	)
+	switch {
+	case *input != "" && *dataset != "":
+		return fmt.Errorf("-input and -dataset are mutually exclusive")
+	case *input != "":
+		h, err = hypergraph.Load(*input)
+	case *dataset != "":
+		var p gen.Preset
+		if p, err = gen.PresetByTag(*dataset); err == nil {
+			h, err = gen.Generate(p.Config)
+		}
+	default:
+		return fmt.Errorf("need -input FILE or -dataset TAG")
+	}
+	if err != nil {
+		return err
+	}
+
+	s := hypergraph.ComputeStats(h)
+	fmt.Printf("%s\n", h)
+	fmt.Printf("  vertices:        %d (avg incident hyperedges %.2f, max %d)\n",
+		s.NumVertices, s.AvgVertexDeg, s.MaxVertexDeg)
+	fmt.Printf("  hyperedges:      %d (avg degree %.2f, p50 %d, p99 %d, max %d)\n",
+		s.NumEdges, s.AvgEdgeDeg, s.EdgeDegreeP50, s.EdgeDegreeP99, s.MaxEdgeDeg)
+	fmt.Printf("  incidence:       %d entries, %.1f MB dual-CSR\n",
+		h.TotalIncidence(), float64(h.MemoryBytes())/(1<<20))
+	if h.Labeled() {
+		fmt.Printf("  vertex labels:   %d classes\n", h.NumLabels())
+	}
+	if h.EdgeLabeled() {
+		fmt.Printf("  hyperedge labels: present\n")
+	}
+
+	// Degree histogram (top buckets).
+	hist := map[int]int{}
+	for e := 0; e < h.NumEdges(); e++ {
+		hist[h.Degree(uint32(e))]++
+	}
+	degs := make([]int, 0, len(hist))
+	for d := range hist {
+		degs = append(degs, d)
+	}
+	sort.Ints(degs)
+	fmt.Println("  degree histogram:")
+	shown := 0
+	for _, d := range degs {
+		if shown >= 12 {
+			fmt.Printf("    ... %d more degrees\n", len(degs)-shown)
+			break
+		}
+		fmt.Printf("    %4d: %d\n", d, hist[d])
+		shown++
+	}
+
+	if *density != "" {
+		var probe []int
+		for _, f := range strings.Fields(*density) {
+			d, err := strconv.Atoi(f)
+			if err != nil {
+				return fmt.Errorf("bad density degree %q", f)
+			}
+			probe = append(probe, d)
+		}
+		c := hypergraph.ConnectionDensity(h, probe, 500, *seed)
+		fmt.Printf("  connection density for degrees %v: %.4f\n", probe, c)
+	}
+
+	if !*noDAL {
+		start := time.Now()
+		store := dal.Build(h)
+		fmt.Printf("  DAL: built in %v, %.1f MB, %d distinct degrees\n",
+			time.Since(start).Round(time.Millisecond),
+			float64(store.MemoryBytes())/(1<<20), len(store.Degrees()))
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+// Dense-motif analysis of face-to-face contact networks — the sensitivity
+// workload of Sec. 5.5 applied to the contact-high-school preset. Contact
+// events (groups of people in proximity) are hyperedges; dense patterns
+// (every pair of events sharing participants) locate tightly recurring
+// groups, the super-spreading structures of epidemiological models.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ohminer"
+)
+
+func main() {
+	preset, err := ohminer.DatasetPresetByTag("CH")
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := ohminer.GenerateDataset(preset.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("contact network:", h)
+	store := ohminer.NewStore(h)
+
+	// Dense patterns of growing size: every pair of contact events must
+	// share at least one participant.
+	for _, m := range []int{2, 3} {
+		p, err := ohminer.SampleDensePattern(h, m, 2, 12, int64(m)*31)
+		if err != nil {
+			log.Fatalf("dense-%d: %v", m, err)
+		}
+		res, err := ohminer.Mine(store, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dense %d-event motif %-24q  %8d unique occurrences  %v\n",
+			m, p.String(), res.Unique, res.Elapsed.Round(time.Microsecond))
+	}
+
+	// Recurring-group detection: the same trio meeting in two different
+	// contact events, with instrumentation to show the engine's work.
+	trio, err := ohminer.ParsePattern("0 1 2; 0 1 2 3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ohminer.Mine(store, trio, ohminer.WithInstrumentation())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecurring trios (a 3-person event nested in a 4-person event): %d\n", res.Unique)
+	fmt.Printf("engine work: %d candidates, %d set operations, gen/val time %v/%v\n",
+		res.Stats.Candidates, res.Stats.SetOps,
+		res.Stats.GenTime.Round(time.Microsecond), res.Stats.ValTime.Round(time.Microsecond))
+}

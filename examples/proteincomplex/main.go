@@ -1,0 +1,95 @@
+// Protein-complex motif search — the labeled-HPM application from the
+// paper's introduction: proteins are vertices (labeled with a functional
+// family), protein complexes are hyperedges, and a biologist's query is a
+// labeled pattern describing how complexes share proteins.
+//
+// The example synthesizes a protein-complex network, then searches for a
+// "bridged complex pair" motif: two complexes sharing exactly two proteins,
+// one of which is a kinase — the kind of structural query used for function
+// prediction in protein interaction hypergraphs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ohminer"
+)
+
+// Protein functional families (vertex labels).
+const (
+	kinase = iota
+	phosphatase
+	scaffold
+	transport
+	numFamilies
+)
+
+var familyName = [...]string{"kinase", "phosphatase", "scaffold", "transport"}
+
+func main() {
+	// Synthesize a protein-complex network: ~2000 proteins, ~4000
+	// complexes of 3-8 subunits each, with community structure standing in
+	// for co-functional modules.
+	cfg := ohminer.GeneratorConfig{
+		Name:        "protein-complexes",
+		NumVertices: 2000, NumEdges: 4000, Communities: 80,
+		MemberOverlap: 1.0, EdgeSizeMin: 3, EdgeSizeMax: 8, EdgeSizeMean: 4.5,
+		NumLabels: numFamilies, Seed: 2025,
+	}
+	h, err := ohminer.GenerateDataset(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("protein-complex network:", h)
+	store := ohminer.NewStore(h)
+
+	// The motif: complexes A = {p0..p3} and B = {p2..p5} share proteins
+	// p2 (a kinase) and p3 (a scaffold); the remaining subunits are
+	// transport proteins. Vertex labels constrain the match.
+	motif, err := ohminer.NewPattern(
+		[][]uint32{
+			{0, 1, 2, 3},
+			{2, 3, 4, 5},
+		},
+		[]uint32{kinase, kinase, kinase, scaffold, kinase, kinase},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("motif: two 4-subunit complexes bridged by a kinase + scaffold pair")
+
+	printed := 0
+	res, err := ohminer.Mine(store, motif, ohminer.WithEmbeddings(func(edges []uint32) {
+		if printed >= 5 {
+			return
+		}
+		printed++
+		a, b := edges[0], edges[1]
+		fmt.Printf("  complexes #%d and #%d share proteins", a, b)
+		for _, pa := range h.EdgeVertices(a) {
+			for _, pb := range h.EdgeVertices(b) {
+				if pa == pb {
+					fmt.Printf(" %d(%s)", pa, familyName[h.Label(pa)])
+				}
+			}
+		}
+		fmt.Println()
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("motif occurs %d time(s) [%d ordered] in %v\n", res.Unique, res.Ordered, res.Elapsed)
+
+	// Labels prune hard: compare against the same motif without labels.
+	unlabeled, err := ohminer.NewPattern([][]uint32{{0, 1, 2, 3}, {2, 3, 4, 5}}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ures, err := ohminer.Mine(store, unlabeled)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without label constraints the structure occurs %d time(s): labels pruned %.1f%% of matches\n",
+		ures.Unique, 100*(1-float64(res.Unique)/float64(ures.Unique)))
+}

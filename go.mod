@@ -1,0 +1,3 @@
+module ohminer
+
+go 1.22

@@ -1,0 +1,192 @@
+// Package dal implements the Degree-aware Data Store of Sec. 4.5.
+//
+// For every hyperedge e the store keeps adj(e) — the hyperedges overlapping
+// e — sorted by (neighbor degree, neighbor ID), a layout the paper calls the
+// Degree-aware Adjacency List (DAL, Table 2). A per-edge degree index
+// locates the contiguous group of neighbors sharing one degree, so candidate
+// generation for a pattern hyperedge of degree d touches only the
+// degree-d group of each already-matched edge's adjacency list instead of
+// re-deriving incident hyperedges from individual vertices.
+//
+// Construction happens once per hypergraph (offline preprocessing in the
+// paper); BuildTime and MemoryBytes feed the Table 6 overhead accounting.
+package dal
+
+import (
+	"sort"
+	"time"
+
+	"ohminer/internal/hypergraph"
+	"ohminer/internal/intset"
+)
+
+// Store is the immutable degree-aware adjacency structure over one
+// hypergraph.
+type Store struct {
+	h *hypergraph.Hypergraph
+
+	// CSR of neighbor IDs per edge, each segment sorted by (degree, id).
+	adjOff []uint32
+	adj    []uint32
+
+	// Degree-group index: for edge e, groups are
+	// grpDeg[grpOff[e]:grpOff[e+1]] with matching absolute start offsets
+	// into adj in grpStart; group k of edge e spans
+	// adj[grpStart[grpOff[e]+k] : end], where end is the next group's start
+	// (or adjOff[e+1] for the last group).
+	grpOff   []uint32
+	grpDeg   []uint32
+	grpStart []uint32
+
+	buildTime time.Duration
+}
+
+// Build constructs the DAL for h.
+func Build(h *hypergraph.Hypergraph) *Store {
+	start := time.Now()
+	m := h.NumEdges()
+	s := &Store{h: h}
+
+	// Pass 1: neighbor discovery with a timestamped mark array. A hyperedge
+	// e's neighbors are the union of the incident-edge lists of its
+	// vertices, minus e itself.
+	mark := make([]uint32, m)
+	stamp := uint32(0)
+	counts := make([]uint32, m+1)
+	neighbors := make([][]uint32, m)
+	for e := 0; e < m; e++ {
+		stamp++
+		var nbr []uint32
+		for _, v := range h.EdgeVertices(uint32(e)) {
+			for _, o := range h.VertexEdges(v) {
+				if o == uint32(e) || mark[o] == stamp {
+					continue
+				}
+				mark[o] = stamp
+				nbr = append(nbr, o)
+			}
+		}
+		neighbors[e] = nbr
+		counts[e+1] = counts[e] + uint32(len(nbr))
+	}
+
+	// Pass 2: sort each segment by (degree, id) and build the group index.
+	s.adjOff = counts
+	s.adj = make([]uint32, counts[m])
+	s.grpOff = make([]uint32, m+1)
+	for e := 0; e < m; e++ {
+		nbr := neighbors[e]
+		sort.Slice(nbr, func(i, j int) bool {
+			di, dj := h.Degree(nbr[i]), h.Degree(nbr[j])
+			if di != dj {
+				return di < dj
+			}
+			return nbr[i] < nbr[j]
+		})
+		copy(s.adj[s.adjOff[e]:], nbr)
+		base := s.adjOff[e]
+		for i := 0; i < len(nbr); {
+			d := h.Degree(nbr[i])
+			s.grpDeg = append(s.grpDeg, uint32(d))
+			s.grpStart = append(s.grpStart, base+uint32(i))
+			for i < len(nbr) && h.Degree(nbr[i]) == d {
+				i++
+			}
+		}
+		s.grpOff[e+1] = uint32(len(s.grpDeg))
+	}
+	s.buildTime = time.Since(start)
+	return s
+}
+
+// Hypergraph returns the hypergraph the store indexes.
+func (s *Store) Hypergraph() *hypergraph.Hypergraph { return s.h }
+
+// Adj returns the full adjacency list A(e), sorted by (degree, id). The
+// slice aliases internal storage.
+func (s *Store) Adj(e uint32) []uint32 {
+	return s.adj[s.adjOff[e]:s.adjOff[e+1]]
+}
+
+// NumNeighbors returns |A(e)|.
+func (s *Store) NumNeighbors(e uint32) int {
+	return int(s.adjOff[e+1] - s.adjOff[e])
+}
+
+// AdjWithDegree returns the group of e's neighbors whose degree is exactly
+// d, sorted by ID. The slice aliases internal storage; it is empty when no
+// neighbor has that degree.
+func (s *Store) AdjWithDegree(e uint32, d int) []uint32 {
+	lo, hi := s.grpOff[e], s.grpOff[e+1]
+	// Binary search the (small) per-edge group table.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.grpDeg[mid] < uint32(d) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == s.grpOff[e+1] || s.grpDeg[lo] != uint32(d) {
+		return nil
+	}
+	start := s.grpStart[lo]
+	var end uint32
+	if lo+1 < s.grpOff[e+1] {
+		end = s.grpStart[lo+1]
+	} else {
+		end = s.adjOff[e+1]
+	}
+	return s.adj[start:end]
+}
+
+// Connected reports whether hyperedges a and b overlap, by binary search in
+// the degree group of a's adjacency list matching b's degree.
+// Connected(e, e) is false: an edge is not its own neighbor.
+func (s *Store) Connected(a, b uint32) bool {
+	if a == b {
+		return false
+	}
+	// Probe the shorter adjacency list.
+	if s.NumNeighbors(b) < s.NumNeighbors(a) {
+		a, b = b, a
+	}
+	return intset.Contains(s.AdjWithDegree(a, s.h.Degree(b)), b)
+}
+
+// Degrees returns the sorted distinct hyperedge degrees present in the
+// hypergraph, useful for workload construction.
+func (s *Store) Degrees() []int {
+	seen := map[int]bool{}
+	for e := 0; e < s.h.NumEdges(); e++ {
+		seen[s.h.Degree(uint32(e))] = true
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EdgesWithDegree returns all hyperedge IDs of degree d, ascending. It scans
+// the hypergraph once; callers cache the result per degree.
+func (s *Store) EdgesWithDegree(d int) []uint32 {
+	var out []uint32
+	for e := 0; e < s.h.NumEdges(); e++ {
+		if s.h.Degree(uint32(e)) == d {
+			out = append(out, uint32(e))
+		}
+	}
+	return out
+}
+
+// BuildTime returns the wall-clock construction duration (DAL-T, Table 6).
+func (s *Store) BuildTime() time.Duration { return s.buildTime }
+
+// MemoryBytes estimates the resident size of the DAL arrays (DAL-M,
+// Table 6).
+func (s *Store) MemoryBytes() int64 {
+	n := len(s.adjOff) + len(s.adj) + len(s.grpOff) + len(s.grpDeg) + len(s.grpStart)
+	return int64(n) * 4
+}

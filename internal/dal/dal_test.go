@@ -1,0 +1,180 @@
+package dal
+
+import (
+	"math/rand"
+	"testing"
+
+	"ohminer/internal/gen"
+	"ohminer/internal/hypergraph"
+	"ohminer/internal/intset"
+)
+
+// fig1Hypergraph reproduces the data hypergraph of Figure 1(b)/Table 2:
+// e1..e5 with degrees 6,6,8,6,8 and the adjacency of Table 2.
+func fig1Hypergraph(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	// Vertex numbering: v1..v12 → 0..11 plus two extra for e4/e5 shape.
+	edges := [][]uint32{
+		{0, 1, 2, 3, 4, 5},         // e1 = {v1..v6}
+		{3, 4, 5, 6, 7, 8},         // e2 = {v4..v9}
+		{3, 4, 5, 6, 7, 9, 10, 11}, // e3 = {v4,v5,v6,v7,v8→v7? structure per Fig 1}
+		{0, 1, 2, 12, 13, 9},       // e4: overlaps e1 {v1,v2,v3} and e3 {v10}
+		{1, 3, 4, 5, 6, 7, 8, 14},  // e5: degree 8, overlaps e1,e2,e3
+	}
+	return hypergraph.MustBuild(15, edges, nil)
+}
+
+func TestTable2Shape(t *testing.T) {
+	h := fig1Hypergraph(t)
+	s := Build(h)
+
+	// e1's neighbors grouped by degree: degree-6 group then degree-8 group.
+	adj := s.Adj(0)
+	if len(adj) != 4 {
+		t.Fatalf("A(e1)=%v", adj)
+	}
+	d6 := s.AdjWithDegree(0, 6)
+	d8 := s.AdjWithDegree(0, 8)
+	if len(d6) != 2 || len(d8) != 2 {
+		t.Fatalf("groups d6=%v d8=%v", d6, d8)
+	}
+	if d6[0] != 1 || d6[1] != 3 { // e2, e4
+		t.Fatalf("d6=%v want [1 3]", d6)
+	}
+	if d8[0] != 2 || d8[1] != 4 { // e3, e5
+		t.Fatalf("d8=%v want [2 4]", d8)
+	}
+	if got := s.AdjWithDegree(0, 7); got != nil {
+		t.Fatalf("AdjWithDegree(e1,7)=%v want nil", got)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	h := fig1Hypergraph(t)
+	s := Build(h)
+	for a := 0; a < h.NumEdges(); a++ {
+		for b := 0; b < h.NumEdges(); b++ {
+			want := a != b && h.Connected(uint32(a), uint32(b))
+			if got := s.Connected(uint32(a), uint32(b)); got != want {
+				t.Errorf("Connected(%d,%d)=%v want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestAgainstDefinition cross-checks the store on a random hypergraph: the
+// adjacency must equal the set of overlapping edges, and degree groups must
+// partition it.
+func TestAgainstDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		nv := 10 + rng.Intn(40)
+		ne := 5 + rng.Intn(60)
+		raw := make([][]uint32, ne)
+		for i := range raw {
+			sz := 1 + rng.Intn(5)
+			for j := 0; j < sz; j++ {
+				raw[i] = append(raw[i], uint32(rng.Intn(nv)))
+			}
+		}
+		h, err := hypergraph.Build(nv, raw, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Build(h)
+		for e := 0; e < h.NumEdges(); e++ {
+			// Reference adjacency by definition.
+			var ref []uint32
+			for o := 0; o < h.NumEdges(); o++ {
+				if o != e && intset.Intersects(h.EdgeVertices(uint32(e)), h.EdgeVertices(uint32(o))) {
+					ref = append(ref, uint32(o))
+				}
+			}
+			adj := s.Adj(uint32(e))
+			if len(adj) != len(ref) {
+				t.Fatalf("edge %d: |adj|=%d want %d", e, len(adj), len(ref))
+			}
+			// Same membership (adj is degree-sorted, ref is id-sorted).
+			got := map[uint32]bool{}
+			for _, o := range adj {
+				got[o] = true
+			}
+			for _, o := range ref {
+				if !got[o] {
+					t.Fatalf("edge %d: missing neighbor %d", e, o)
+				}
+			}
+			// Degree groups partition adj, each sorted by ID and all of one
+			// degree; union of groups over Degrees() covers adj.
+			covered := 0
+			for _, d := range s.Degrees() {
+				g := s.AdjWithDegree(uint32(e), d)
+				if !intset.SortedUnique(g) {
+					t.Fatalf("edge %d degree %d group not sorted: %v", e, d, g)
+				}
+				for _, o := range g {
+					if h.Degree(o) != d {
+						t.Fatalf("edge %d: neighbor %d in wrong group %d", e, o, d)
+					}
+				}
+				covered += len(g)
+			}
+			if covered != len(adj) {
+				t.Fatalf("edge %d: groups cover %d of %d", e, covered, len(adj))
+			}
+		}
+	}
+}
+
+func TestEdgesWithDegree(t *testing.T) {
+	h := fig1Hypergraph(t)
+	s := Build(h)
+	d8 := s.EdgesWithDegree(8)
+	if len(d8) != 2 || d8[0] != 2 || d8[1] != 4 {
+		t.Fatalf("EdgesWithDegree(8)=%v", d8)
+	}
+	if got := s.EdgesWithDegree(99); got != nil {
+		t.Fatalf("EdgesWithDegree(99)=%v", got)
+	}
+}
+
+func TestOverheadAccounting(t *testing.T) {
+	h := gen.MustGenerate(gen.Config{Name: "t", NumVertices: 500, NumEdges: 800,
+		Communities: 25, MemberOverlap: 1, EdgeSizeMin: 2, EdgeSizeMax: 8, EdgeSizeMean: 4, Seed: 9})
+	s := Build(h)
+	if s.BuildTime() <= 0 {
+		t.Fatal("BuildTime not recorded")
+	}
+	if s.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes not positive")
+	}
+	if s.Hypergraph() != h {
+		t.Fatal("Hypergraph() identity lost")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	h := gen.MustGenerate(gen.Config{Name: "b", NumVertices: 2000, NumEdges: 4000,
+		Communities: 80, MemberOverlap: 1, EdgeSizeMin: 2, EdgeSizeMax: 12, EdgeSizeMean: 6, Seed: 11})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(h)
+	}
+}
+
+func BenchmarkConnected(b *testing.B) {
+	h := gen.MustGenerate(gen.Config{Name: "b", NumVertices: 2000, NumEdges: 4000,
+		Communities: 80, MemberOverlap: 1, EdgeSizeMin: 2, EdgeSizeMax: 12, EdgeSizeMean: 6, Seed: 11})
+	s := Build(h)
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([][2]uint32, 1024)
+	for i := range pairs {
+		pairs[i] = [2]uint32{uint32(rng.Intn(h.NumEdges())), uint32(rng.Intn(h.NumEdges()))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i&1023]
+		s.Connected(p[0], p[1])
+	}
+}

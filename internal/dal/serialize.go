@@ -1,0 +1,142 @@
+package dal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"ohminer/internal/hypergraph"
+)
+
+// Binary persistence for the DAL. The paper amortizes DAL construction as
+// offline preprocessing reused across HPM applications (Sec. 4.5/Table 6);
+// Save/Load make that concrete: construction runs once, subsequent
+// processes load the index in a single sequential read. The header embeds
+// the source hypergraph's fingerprint, so loading against a different
+// hypergraph fails instead of silently mis-indexing.
+
+const (
+	dalMagic   = 0x4f484d44 // "OHMD"
+	dalVersion = 1
+)
+
+// Save writes the store in binary form.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	header := []uint64{
+		dalMagic,
+		dalVersion,
+		s.h.Fingerprint(),
+		uint64(len(s.adjOff)),
+		uint64(len(s.adj)),
+		uint64(len(s.grpOff)),
+		uint64(len(s.grpDeg)),
+		uint64(len(s.grpStart)),
+	}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("dal: save header: %w", err)
+		}
+	}
+	for _, arr := range [][]uint32{s.adjOff, s.adj, s.grpOff, s.grpDeg, s.grpStart} {
+		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+			return fmt.Errorf("dal: save data: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the store to the named file.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a store previously written by Save and attaches it to h, which
+// must be the identical hypergraph (verified via fingerprint).
+func Load(r io.Reader, h *hypergraph.Hypergraph) (*Store, error) {
+	br := bufio.NewReader(r)
+	header := make([]uint64, 8)
+	for i := range header {
+		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("dal: load header: %w", err)
+		}
+	}
+	if header[0] != dalMagic {
+		return nil, fmt.Errorf("dal: bad magic %#x", header[0])
+	}
+	if header[1] != dalVersion {
+		return nil, fmt.Errorf("dal: unsupported version %d", header[1])
+	}
+	if header[2] != h.Fingerprint() {
+		return nil, fmt.Errorf("dal: store was built for a different hypergraph")
+	}
+	m := h.NumEdges()
+	if header[3] != uint64(m+1) || header[5] != uint64(m+1) {
+		return nil, fmt.Errorf("dal: corrupt offsets (%d edges)", m)
+	}
+	s := &Store{
+		h:        h,
+		adjOff:   make([]uint32, header[3]),
+		adj:      make([]uint32, header[4]),
+		grpOff:   make([]uint32, header[5]),
+		grpDeg:   make([]uint32, header[6]),
+		grpStart: make([]uint32, header[7]),
+	}
+	for _, arr := range [][]uint32{s.adjOff, s.adj, s.grpOff, s.grpDeg, s.grpStart} {
+		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
+			return nil, fmt.Errorf("dal: load data: %w", err)
+		}
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadFile reads a store from the named file.
+func LoadFile(path string, h *hypergraph.Hypergraph) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, h)
+}
+
+// validate performs structural sanity checks on a loaded store so that a
+// corrupt file cannot cause out-of-range panics during mining.
+func (s *Store) validate() error {
+	m := s.h.NumEdges()
+	if s.adjOff[0] != 0 || int(s.adjOff[m]) != len(s.adj) {
+		return fmt.Errorf("dal: corrupt adjacency offsets")
+	}
+	if s.grpOff[0] != 0 || int(s.grpOff[m]) != len(s.grpDeg) || len(s.grpDeg) != len(s.grpStart) {
+		return fmt.Errorf("dal: corrupt group offsets")
+	}
+	for e := 0; e < m; e++ {
+		if s.adjOff[e] > s.adjOff[e+1] || s.grpOff[e] > s.grpOff[e+1] {
+			return fmt.Errorf("dal: non-monotonic offsets at edge %d", e)
+		}
+	}
+	for _, n := range s.adj {
+		if int(n) >= m {
+			return fmt.Errorf("dal: neighbor id %d out of range", n)
+		}
+	}
+	for i, st := range s.grpStart {
+		if int(st) > len(s.adj) {
+			return fmt.Errorf("dal: group start %d out of range", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package dal
+
+import (
+	"bytes"
+	"testing"
+
+	"ohminer/internal/gen"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	h := gen.MustGenerate(gen.Config{Name: "t", NumVertices: 300, NumEdges: 700,
+		Communities: 15, MemberOverlap: 1, EdgeSizeMin: 2, EdgeSizeMax: 9, EdgeSizeMean: 5, Seed: 13})
+	orig := Build(h)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full structural equality.
+	for e := 0; e < h.NumEdges(); e++ {
+		a, b := orig.Adj(uint32(e)), loaded.Adj(uint32(e))
+		if len(a) != len(b) {
+			t.Fatalf("edge %d adjacency length differs", e)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("edge %d adjacency differs at %d", e, i)
+			}
+		}
+		for _, d := range orig.Degrees() {
+			ga, gb := orig.AdjWithDegree(uint32(e), d), loaded.AdjWithDegree(uint32(e), d)
+			if len(ga) != len(gb) {
+				t.Fatalf("edge %d degree %d group differs", e, d)
+			}
+			for i := range ga {
+				if ga[i] != gb[i] {
+					t.Fatalf("edge %d degree %d group differs at %d", e, d, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadRejectsWrongHypergraph(t *testing.T) {
+	h1 := gen.MustGenerate(gen.Config{Name: "a", NumVertices: 100, NumEdges: 200,
+		Communities: 5, EdgeSizeMin: 2, EdgeSizeMax: 5, EdgeSizeMean: 3, Seed: 1})
+	h2 := gen.MustGenerate(gen.Config{Name: "b", NumVertices: 100, NumEdges: 200,
+		Communities: 5, EdgeSizeMin: 2, EdgeSizeMax: 5, EdgeSizeMean: 3, Seed: 2})
+	var buf bytes.Buffer
+	if err := Build(h1).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()), h2); err == nil {
+		t.Fatal("store loaded against a different hypergraph")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	h := gen.MustGenerate(gen.Config{Name: "a", NumVertices: 80, NumEdges: 150,
+		Communities: 5, EdgeSizeMin: 2, EdgeSizeMax: 5, EdgeSizeMean: 3, Seed: 3})
+	var buf bytes.Buffer
+	if err := Build(h).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Truncated file.
+	if _, err := Load(bytes.NewReader(data[:len(data)/2]), h); err == nil {
+		t.Error("truncated store accepted")
+	}
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := Load(bytes.NewReader(bad), h); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), data...)
+	bad[8] = 99
+	if _, err := Load(bytes.NewReader(bad), h); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Flipped payload byte: either the fingerprint check (header) or the
+	// structural validation must catch gross corruption of offsets.
+	bad = append([]byte(nil), data...)
+	bad[8*8+3] ^= 0x80 // inside adjOff[0]
+	if _, err := Load(bytes.NewReader(bad), h); err == nil {
+		t.Error("corrupt offsets accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	h := gen.MustGenerate(gen.Config{Name: "a", NumVertices: 60, NumEdges: 100,
+		Communities: 4, EdgeSizeMin: 2, EdgeSizeMax: 5, EdgeSizeMean: 3, Seed: 4})
+	s := Build(h)
+	path := t.TempDir() + "/store.dal"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumNeighbors(0) != s.NumNeighbors(0) {
+		t.Fatal("loaded store differs")
+	}
+	if _, err := LoadFile(path+"x", h); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,137 @@
+// Package dynamic supports hypergraphs that grow by hyperedge batches and
+// answers incremental pattern-mining queries: how many new embeddings did
+// the latest batch create? This is the streaming-HPM direction of the
+// paper's related work (Tesseract, PSMiner) realized as an extension on the
+// overlap-centric engine.
+//
+// The delta is computed with anchored enumeration: embeddings containing at
+// least one new hyperedge are partitioned by the first matching-order
+// position holding a new hyperedge, so each is counted exactly once — no
+// recount of the old hypergraph and no inclusion–exclusion over batches.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ohminer/internal/dal"
+	"ohminer/internal/engine"
+	"ohminer/internal/hypergraph"
+	"ohminer/internal/pattern"
+)
+
+// Miner maintains a growing hypergraph and its derived mining state.
+type Miner struct {
+	numVertices int
+	rawEdges    [][]uint32
+	h           *hypergraph.Hypergraph
+	store       *dal.Store
+	// boundary is the first hyperedge ID belonging to the latest batch.
+	boundary uint32
+	epoch    int
+}
+
+// NewMiner starts from an initial hypergraph (batch 0). numVertices fixes
+// the vertex universe; later batches may reference any vertex below it.
+func NewMiner(numVertices int, initial [][]uint32) (*Miner, error) {
+	m := &Miner{numVertices: numVertices}
+	if err := m.apply(initial); err != nil {
+		return nil, err
+	}
+	m.boundary = 0 // everything in batch 0 counts as "old" for deltas
+	if m.h != nil {
+		m.boundary = uint32(m.h.NumEdges())
+	}
+	return m, nil
+}
+
+// ApplyBatch inserts a batch of hyperedges and rebuilds the derived state.
+// Hyperedge IDs of previously inserted edges are stable: the builder keeps
+// first occurrences in input order, so appended batches only extend the ID
+// space. Duplicate hyperedges (already present) are absorbed silently.
+func (m *Miner) ApplyBatch(batch [][]uint32) error {
+	if len(batch) == 0 {
+		return errors.New("dynamic: empty batch")
+	}
+	prev := m.h.NumEdges()
+	if err := m.apply(batch); err != nil {
+		return err
+	}
+	m.boundary = uint32(prev)
+	m.epoch++
+	return nil
+}
+
+func (m *Miner) apply(batch [][]uint32) error {
+	m.rawEdges = append(m.rawEdges, batch...)
+	h, err := hypergraph.Build(m.numVertices, m.rawEdges, nil)
+	if err != nil {
+		return fmt.Errorf("dynamic: %w", err)
+	}
+	m.h = h
+	m.store = dal.Build(h)
+	return nil
+}
+
+// Hypergraph returns the current hypergraph.
+func (m *Miner) Hypergraph() *hypergraph.Hypergraph { return m.h }
+
+// Store returns the current degree-aware store.
+func (m *Miner) Store() *dal.Store { return m.store }
+
+// Epoch returns the number of applied batches after the initial one.
+func (m *Miner) Epoch() int { return m.epoch }
+
+// NumNewEdges returns the size of the latest batch after deduplication.
+func (m *Miner) NumNewEdges() int { return m.h.NumEdges() - int(m.boundary) }
+
+// Delta is the result of an incremental query.
+type Delta struct {
+	// Ordered/Unique count the embeddings that include at least one
+	// hyperedge of the latest batch.
+	Ordered uint64
+	Unique  uint64
+	Elapsed time.Duration
+}
+
+// DeltaCount counts the embeddings of p that use at least one hyperedge
+// from the latest batch. The total embedding count after the batch equals
+// the total before it plus Delta.Ordered.
+func (m *Miner) DeltaCount(p *pattern.Pattern, opts engine.Options) (Delta, error) {
+	start := time.Now()
+	var d Delta
+	boundary := m.boundary
+	var aut int
+	for anchor := 0; anchor < p.NumEdges(); anchor++ {
+		a := anchor
+		opts.PositionFilter = func(pos int, edge uint32) bool {
+			switch {
+			case pos < a:
+				return edge < boundary
+			case pos == a:
+				return edge >= boundary
+			default:
+				return true
+			}
+		}
+		res, err := engine.Mine(m.store, p, opts)
+		if err != nil {
+			return Delta{}, err
+		}
+		d.Ordered += res.Ordered
+		aut = res.Automorphisms
+	}
+	if aut > 0 {
+		d.Unique = d.Ordered / uint64(aut)
+	}
+	d.Elapsed = time.Since(start)
+	return d, nil
+}
+
+// TotalCount mines the full current hypergraph (the non-incremental
+// answer), for verification and initialization.
+func (m *Miner) TotalCount(p *pattern.Pattern, opts engine.Options) (engine.Result, error) {
+	opts.PositionFilter = nil
+	return engine.Mine(m.store, p, opts)
+}

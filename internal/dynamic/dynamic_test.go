@@ -1,0 +1,152 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"ohminer/internal/engine"
+	"ohminer/internal/pattern"
+)
+
+func randBatch(rng *rand.Rand, nv, n int) [][]uint32 {
+	batch := make([][]uint32, n)
+	for i := range batch {
+		sz := 2 + rng.Intn(3)
+		for j := 0; j < sz; j++ {
+			batch[i] = append(batch[i], uint32(rng.Intn(nv)))
+		}
+	}
+	return batch
+}
+
+// TestDeltaInvariant is the core incremental-mining property: for every
+// batch, total(after) = total(before) + delta.
+func TestDeltaInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const nv = 30
+	m, err := NewMiner(nv, randBatch(rng, nv, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := []*pattern.Pattern{
+		pattern.MustNew([][]uint32{{0, 1}, {1, 2}}, nil),
+		pattern.MustNew([][]uint32{{0, 1, 2}, {2, 3}}, nil),
+		pattern.MustNew([][]uint32{{0, 1}, {1, 2}, {2, 3}}, nil),
+	}
+	opts := engine.Options{Workers: 1}
+
+	before := make([]uint64, len(pats))
+	for i, p := range pats {
+		res, err := m.TotalCount(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = res.Ordered
+	}
+	for batchNo := 0; batchNo < 4; batchNo++ {
+		if err := m.ApplyBatch(randBatch(rng, nv, 8)); err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pats {
+			delta, err := m.DeltaCount(p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, err := m.TotalCount(p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if before[i]+delta.Ordered != after.Ordered {
+				t.Fatalf("batch %d pattern %d: before %d + delta %d != after %d",
+					batchNo, i, before[i], delta.Ordered, after.Ordered)
+			}
+			if delta.Unique != delta.Ordered/uint64(after.Automorphisms) {
+				t.Fatalf("unique accounting: %d vs %d/%d", delta.Unique, delta.Ordered, after.Automorphisms)
+			}
+			before[i] = after.Ordered
+		}
+	}
+	if m.Epoch() != 4 {
+		t.Fatalf("epoch %d", m.Epoch())
+	}
+}
+
+func TestDeltaHandBuilt(t *testing.T) {
+	// Path e0-e1; adding e2 extends it. 2-edge chain pattern.
+	m, err := NewMiner(4, [][]uint32{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.MustNew([][]uint32{{0, 1}, {1, 2}}, nil)
+	opts := engine.Options{Workers: 1}
+	total, err := m.TotalCount(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Ordered != 2 { // (e0,e1) and (e1,e0)
+		t.Fatalf("initial ordered %d", total.Ordered)
+	}
+	if err := m.ApplyBatch([][]uint32{{2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNewEdges() != 1 {
+		t.Fatalf("new edges %d", m.NumNewEdges())
+	}
+	delta, err := m.DeltaCount(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New embeddings: {e1,e2} in both orders.
+	if delta.Ordered != 2 || delta.Unique != 1 {
+		t.Fatalf("delta %+v", delta)
+	}
+}
+
+func TestDuplicateBatchAbsorbed(t *testing.T) {
+	m, err := NewMiner(4, [][]uint32{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ApplyBatch([][]uint32{{1, 0}}); err != nil { // duplicate of e0
+		t.Fatal(err)
+	}
+	if m.NumNewEdges() != 0 {
+		t.Fatalf("duplicate created %d new edges", m.NumNewEdges())
+	}
+	p := pattern.MustNew([][]uint32{{0, 1}, {1, 2}}, nil)
+	delta, err := m.DeltaCount(p, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Ordered != 0 {
+		t.Fatalf("duplicate batch produced delta %d", delta.Ordered)
+	}
+}
+
+func TestStableEdgeIDs(t *testing.T) {
+	m, err := NewMiner(6, [][]uint32{{0, 1}, {2, 3}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := append([]uint32(nil), m.Hypergraph().EdgeVertices(0)...)
+	if err := m.ApplyBatch([][]uint32{{4, 5}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Hypergraph().EdgeVertices(0)
+	if len(got) != len(e0) || got[0] != e0[0] || got[1] != e0[1] {
+		t.Fatalf("edge 0 changed: %v vs %v", got, e0)
+	}
+	if m.Hypergraph().NumEdges() != 5 {
+		t.Fatalf("edges %d", m.Hypergraph().NumEdges())
+	}
+}
+
+func TestNewMinerErrors(t *testing.T) {
+	if _, err := NewMiner(4, nil); err == nil {
+		t.Fatal("empty initial accepted")
+	}
+	m, _ := NewMiner(4, [][]uint32{{0, 1}})
+	if err := m.ApplyBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

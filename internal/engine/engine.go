@@ -1,0 +1,374 @@
+// Package engine implements the overlap-centric parallel execution engine
+// of Sec. 4.4 — and, through its configuration matrix, every system variant
+// the paper evaluates:
+//
+//	OHMiner   = GenDAL     + ValOverlap        (merged plan, Sec. 4)
+//	OHM-G     = GenDAL     + ValProfiles       (Fig. 15)
+//	OHM-V     = GenHGMatch + ValOverlap        (Fig. 13/15)
+//	OHM-I     = GenHGMatch + ValOverlapSimple  (IEP only, Fig. 15)
+//	HGMatch   = GenHGMatch + ValProfiles       (baseline, Sec. 2.3)
+//
+// The engine explores the search tree depth-first. Candidates of the first
+// pattern hyperedge are distributed dynamically over worker goroutines (the
+// OpenMP dynamic-scheduling strategy of the paper); each worker owns all its
+// scratch state, so the hot path allocates nothing. The intset kernel choice
+// (Fast vs Scalar) reproduces the SIMD on/off ablation.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ohminer/internal/dal"
+	"ohminer/internal/intset"
+	"ohminer/internal/oig"
+	"ohminer/internal/pattern"
+)
+
+// GenMode selects the candidate-generation strategy.
+type GenMode int
+
+const (
+	// GenDAL intersects degree-pruned DAL adjacency groups (OHMiner,
+	// Sec. 4.5).
+	GenDAL GenMode = iota
+	// GenHGMatch re-derives candidates from the incident hyperedges of the
+	// individual vertices of already-matched hyperedges — the
+	// vertex-granularity approach of HGMatch with its inherent redundancy
+	// (Sec. 2.3, Fig. 2(a)).
+	GenHGMatch
+)
+
+func (g GenMode) String() string {
+	if g == GenHGMatch {
+		return "hgmatch"
+	}
+	return "dal"
+}
+
+// ValMode selects the validation strategy.
+type ValMode int
+
+const (
+	// ValOverlap executes the merged overlap-centric plan — full OHMiner
+	// validation with merge + group pruning.
+	ValOverlap ValMode = iota
+	// ValOverlapSimple executes the simple (IEP-only) plan: every
+	// non-implied overlap intersected and size-checked.
+	ValOverlapSimple
+	// ValProfiles recomputes per-vertex profiles of the whole partial
+	// embedding and compares the multiset against the pattern's — the
+	// hash-based vertex-granularity validation of HGMatch (Fig. 2(b)).
+	ValProfiles
+)
+
+func (v ValMode) String() string {
+	switch v {
+	case ValOverlapSimple:
+		return "overlap-simple"
+	case ValProfiles:
+		return "profiles"
+	default:
+		return "overlap"
+	}
+}
+
+// Variant names the paper's system configurations.
+type Variant struct {
+	Name string
+	Gen  GenMode
+	Val  ValMode
+}
+
+// Variants returns the evaluation matrix of Sec. 5.3.
+func Variants() []Variant {
+	return []Variant{
+		{Name: "OHMiner", Gen: GenDAL, Val: ValOverlap},
+		{Name: "OHM-G", Gen: GenDAL, Val: ValProfiles},
+		{Name: "OHM-V", Gen: GenHGMatch, Val: ValOverlap},
+		{Name: "OHM-I", Gen: GenHGMatch, Val: ValOverlapSimple},
+		{Name: "HGMatch", Gen: GenHGMatch, Val: ValProfiles},
+	}
+}
+
+// VariantByName returns the named configuration.
+func VariantByName(name string) (Variant, error) {
+	for _, v := range Variants() {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return Variant{}, fmt.Errorf("engine: unknown variant %q", name)
+}
+
+// Options configures a mining run.
+type Options struct {
+	Gen GenMode
+	Val ValMode
+	// Kernel selects the set-operation family; the zero value means
+	// intset.Fast (the SIMD stand-in). Pass intset.Scalar for the no-SIMD
+	// ablation.
+	Kernel intset.Kernel
+	// Workers is the goroutine count; ≤0 means GOMAXPROCS.
+	Workers int
+	// Instrument enables the Stats counters and phase timers used by the
+	// Fig. 3 reproduction (adds measurable overhead).
+	Instrument bool
+	// Limit stops the exploration once at least this many ordered
+	// embeddings were found (0 = unlimited). The final count may slightly
+	// exceed Limit because workers stop at the next check.
+	Limit uint64
+	// OnEmbedding, when set, receives every embedding (hyperedge IDs in
+	// matching order). Calls are serialized by the engine; the slice is
+	// reused and must be copied to retain.
+	OnEmbedding func([]uint32)
+	// Deadline aborts the exploration after roughly this duration (0 =
+	// none); the Result is then marked Truncated and undercounts. Used by
+	// the benchmark harness to bound combinatorially exploding cells.
+	Deadline time.Duration
+	// UniqueOnly filters OnEmbedding to one canonical tuple per unordered
+	// embedding: the callback fires only when the tuple is the
+	// lexicographically smallest among its automorphic reorderings.
+	// Ordered/Unique counts are unaffected.
+	UniqueOnly bool
+	// DataAwareOrder derives the matching order from data-hypergraph
+	// selectivity (fewest degree-matching data hyperedges first), the
+	// ordering strategy the paper adopts from HGMatch (Sec. 4.3.2), instead
+	// of the purely structural connectivity order.
+	DataAwareOrder bool
+	// PositionFilter, when set, restricts which data hyperedge may bind to
+	// each matching-order position (anchored enumeration; used by the
+	// incremental miner to count embeddings touching newly inserted
+	// hyperedges exactly once).
+	PositionFilter func(pos int, edge uint32) bool
+}
+
+// Stats carries the instrumentation counters behind Fig. 3.
+type Stats struct {
+	// Candidates is the number of candidate hyperedges enumerated.
+	Candidates uint64
+	// Embeddings is the number of (partial) embeddings that passed
+	// validation, across all depths.
+	Embeddings uint64
+	// SetOps counts intersection operations executed by overlap validation.
+	SetOps uint64
+	// NMFetches counts incident-hyperedge derivations (NM sets) performed
+	// by HGMatch-style generation; RedundantNMFetches counts the repeated
+	// ones (per extra overlap vertex — Fig. 3(b)).
+	NMFetches          uint64
+	RedundantNMFetches uint64
+	// ProfileVertices counts vertices whose profile was computed by
+	// profile validation; RedundantProfileVertices counts those sharing a
+	// profile with an earlier vertex of the same validation (Fig. 3(c)).
+	ProfileVertices          uint64
+	RedundantProfileVertices uint64
+	// GenTime/ValTime split the wall time between candidate generation and
+	// validation (Fig. 3(a)); only tracked when Options.Instrument is set.
+	GenTime time.Duration
+	ValTime time.Duration
+}
+
+func (s *Stats) add(o Stats) {
+	s.Candidates += o.Candidates
+	s.Embeddings += o.Embeddings
+	s.SetOps += o.SetOps
+	s.NMFetches += o.NMFetches
+	s.RedundantNMFetches += o.RedundantNMFetches
+	s.ProfileVertices += o.ProfileVertices
+	s.RedundantProfileVertices += o.RedundantProfileVertices
+	s.GenTime += o.GenTime
+	s.ValTime += o.ValTime
+}
+
+// Result reports one mining run.
+type Result struct {
+	// Ordered counts embeddings as ordered hyperedge tuples following the
+	// matching order; every unordered embedding is found once per pattern
+	// automorphism.
+	Ordered uint64
+	// Unique is Ordered divided by the pattern's automorphism count.
+	Unique uint64
+	// Automorphisms is the pattern's hyperedge automorphism count.
+	Automorphisms int
+	// Elapsed is the wall-clock mining time (excluding plan compilation).
+	Elapsed time.Duration
+	// Truncated reports that the run hit Options.Deadline (or Limit) and
+	// Ordered undercounts.
+	Truncated bool
+	Stats     Stats
+	Plan      *oig.Plan
+}
+
+// Mine compiles the appropriate plan for the options and runs it.
+func Mine(store *dal.Store, p *pattern.Pattern, opts Options) (Result, error) {
+	mode := oig.ModeMerged
+	if opts.Val == ValOverlapSimple {
+		mode = oig.ModeSimple
+	}
+	var (
+		plan *oig.Plan
+		err  error
+	)
+	if opts.DataAwareOrder {
+		plan, err = oig.CompileOrdered(p, mode, dataAwareOrder(store, p))
+	} else {
+		plan, err = oig.Compile(p, mode)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return MineWithPlan(store, plan, opts)
+}
+
+// dataAwareOrder scores each pattern hyperedge by the number of data
+// hyperedges sharing its degree (the candidate pool of the first step) and
+// orders the most selective hyperedge first.
+func dataAwareOrder(store *dal.Store, p *pattern.Pattern) []int {
+	h := store.Hypergraph()
+	byDegree := map[int]int{}
+	for e := 0; e < h.NumEdges(); e++ {
+		byDegree[h.Degree(uint32(e))]++
+	}
+	sel := make([]int, p.NumEdges())
+	for i := range sel {
+		sel[i] = byDegree[p.Degree(i)]
+	}
+	return p.MatchingOrderWithSelectivity(sel)
+}
+
+// MineWithPlan runs a precompiled plan. The plan's mode must match the
+// validation mode (merged for ValOverlap, simple for ValOverlapSimple;
+// ValProfiles accepts either).
+func MineWithPlan(store *dal.Store, plan *oig.Plan, opts Options) (Result, error) {
+	switch opts.Val {
+	case ValOverlap:
+		if plan.Mode != oig.ModeMerged {
+			return Result{}, errors.New("engine: ValOverlap needs a merged plan")
+		}
+	case ValOverlapSimple:
+		if plan.Mode != oig.ModeSimple {
+			return Result{}, errors.New("engine: ValOverlapSimple needs a simple plan")
+		}
+	case ValProfiles:
+	default:
+		return Result{}, fmt.Errorf("engine: unknown validation mode %d", opts.Val)
+	}
+	if plan.Labeled && !store.Hypergraph().Labeled() {
+		return Result{}, errors.New("engine: labeled pattern on unlabeled hypergraph")
+	}
+	if plan.Pattern.EdgeLabeled() && !store.Hypergraph().EdgeLabeled() {
+		return Result{}, errors.New("engine: hyperedge-labeled pattern on hypergraph without hyperedge labels")
+	}
+	kernel := opts.Kernel
+	if kernel.Intersect == nil {
+		kernel = intset.Fast
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	e := &shared{store: store, plan: plan, opts: opts, kernel: kernel}
+	if opts.UniqueOnly && opts.OnEmbedding != nil {
+		e.autoPerms = plan.Pattern.AutomorphismPerms()[1:]
+	}
+	start := time.Now()
+	if opts.Deadline > 0 {
+		e.deadline = start.Add(opts.Deadline)
+	}
+	first := e.firstCandidates()
+
+	if len(first) == 0 {
+		return Result{Automorphisms: plan.Pattern.Automorphisms(), Elapsed: time.Since(start), Plan: plan}, nil
+	}
+	if workers > len(first) {
+		workers = len(first)
+	}
+
+	var next atomic.Int64
+	var found atomic.Uint64
+	results := make([]*worker, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		w := newWorker(e, &found)
+		results[wi] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(first) {
+					return
+				}
+				if opts.Limit > 0 && found.Load() >= opts.Limit {
+					return
+				}
+				w.mineFrom(first[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := Result{
+		Automorphisms: plan.Pattern.Automorphisms(),
+		Elapsed:       time.Since(start),
+		Plan:          plan,
+	}
+	for _, w := range results {
+		res.Ordered += w.count
+		res.Truncated = res.Truncated || w.truncated
+		res.Stats.add(w.stats)
+	}
+	if opts.Limit > 0 && found.Load() >= opts.Limit {
+		res.Truncated = true
+	}
+	res.Unique = res.Ordered / uint64(res.Automorphisms)
+	return res, nil
+}
+
+// shared is the read-only state every worker uses.
+type shared struct {
+	store    *dal.Store
+	plan     *oig.Plan
+	opts     Options
+	kernel   intset.Kernel
+	deadline time.Time // zero when no deadline
+	// autoPerms holds the non-identity automorphism permutations when
+	// UniqueOnly filtering is active.
+	autoPerms [][]int
+	emitMu    sync.Mutex
+}
+
+// firstCandidates enumerates candidates of the first pattern hyperedge:
+// every data hyperedge with matching degree (and label histogram for
+// labeled patterns).
+func (e *shared) firstCandidates() []uint32 {
+	h := e.store.Hypergraph()
+	st := &e.plan.Steps[0]
+	cands := e.store.EdgesWithDegree(st.Degree)
+	if !e.plan.Labeled && st.EdgeLabel < 0 && e.opts.PositionFilter == nil {
+		return cands
+	}
+	var scratch []int
+	if e.plan.Labeled {
+		scratch = make([]int, h.NumLabels())
+	}
+	out := cands[:0]
+	for _, c := range cands {
+		if st.EdgeLabel >= 0 && (!h.EdgeLabeled() || int64(h.EdgeLabel(c)) != st.EdgeLabel) {
+			continue
+		}
+		if e.plan.Labeled && !labelsMatch(h, c, st.EdgeLabels, scratch) {
+			continue
+		}
+		if f := e.opts.PositionFilter; f != nil && !f(0, c) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}

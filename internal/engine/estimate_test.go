@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ohminer/internal/dal"
+	"ohminer/internal/gen"
+	"ohminer/internal/pattern"
+)
+
+func estimateFixture(t *testing.T) (*dal.Store, *pattern.Pattern, uint64) {
+	t.Helper()
+	h := gen.MustGenerate(gen.Config{Name: "est", NumVertices: 400, NumEdges: 1500,
+		Communities: 20, MemberOverlap: 1, EdgeSizeMin: 2, EdgeSizeMax: 8, EdgeSizeMean: 4, Seed: 71})
+	store := dal.Build(h)
+	rng := rand.New(rand.NewSource(5))
+	p, err := pattern.Sample(h, 3, 3, 25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Mine(store, p, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Ordered < 100 {
+		t.Skipf("fixture too small: %d embeddings", exact.Ordered)
+	}
+	return store, p, exact.Ordered
+}
+
+func TestEstimateExactAtFullFraction(t *testing.T) {
+	store, p, exact := estimateFixture(t)
+	est, err := EstimateCount(store, p, 1.0, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Ordered != float64(exact) {
+		t.Fatalf("fraction=1 estimate %.0f != exact %d", est.Ordered, exact)
+	}
+	if est.SampledRoots != est.TotalRoots {
+		t.Fatalf("sampled %d of %d at fraction 1", est.SampledRoots, est.TotalRoots)
+	}
+}
+
+func TestEstimateConverges(t *testing.T) {
+	store, p, exact := estimateFixture(t)
+	// Average over several seeds: an unbiased estimator's mean should land
+	// near the truth.
+	var sum float64
+	const seeds = 12
+	for s := int64(0); s < seeds; s++ {
+		est, err := EstimateCount(store, p, 0.3, s, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est.Ordered
+		if est.StdErr < 0 {
+			t.Fatalf("negative stderr: %+v", est)
+		}
+	}
+	mean := sum / seeds
+	if rel := math.Abs(mean-float64(exact)) / float64(exact); rel > 0.4 {
+		t.Fatalf("mean estimate %.0f deviates %.0f%% from exact %d", mean, rel*100, exact)
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	store, p, _ := estimateFixture(t)
+	a, err := EstimateCount(store, p, 0.25, 9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateCount(store, p, 0.25, 9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ordered != b.Ordered || a.SampledRoots != b.SampledRoots {
+		t.Fatalf("estimate not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	store, p, _ := estimateFixture(t)
+	for _, f := range []float64{0, -0.5, 1.5} {
+		if _, err := EstimateCount(store, p, f, 1, Options{}); err == nil {
+			t.Errorf("fraction %f accepted", f)
+		}
+	}
+}
+
+func TestEstimateNoRoots(t *testing.T) {
+	store, _ := fig1(t)
+	p := pattern.MustNew([][]uint32{{0, 1, 2}}, nil) // degree 3 absent
+	est, err := EstimateCount(store, p, 0.5, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Ordered != 0 || est.TotalRoots != 0 {
+		t.Fatalf("%+v", est)
+	}
+}

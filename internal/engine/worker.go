@@ -1,0 +1,456 @@
+package engine
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ohminer/internal/hypergraph"
+	"ohminer/internal/intset"
+	"ohminer/internal/oig"
+	"ohminer/internal/sig"
+)
+
+// worker owns all mutable state of one mining goroutine; the hot path
+// allocates nothing after construction.
+type worker struct {
+	e     *shared
+	found *atomic.Uint64
+
+	c     []uint32   // bound hyperedge IDs, c[0..t]
+	cand  [][]uint32 // candidate list buffer per step
+	tmp   [][]uint32 // ping-pong buffer for progressive intersections
+	nm    []uint32   // HGMatch-style merged incident-edge buffer
+	slots [][]uint32 // overlap buffers, indexed by plan slot
+
+	edgeMark  []uint32 // stamp array over hyperedges (NM merges)
+	edgeStamp uint32
+	vertMark  []uint32 // stamp array over vertices (profile validation)
+	vertStamp uint32
+
+	labelScratch []int // per-label counter for histogram checks
+	profCount    map[uint64]int
+	adjLists     [][]uint32 // scratch: adjacency groups per generation
+
+	count     uint64
+	stop      bool
+	truncated bool
+	tick      uint32 // deadline check divider
+	stats     Stats
+}
+
+func newWorker(e *shared, found *atomic.Uint64) *worker {
+	h := e.store.Hypergraph()
+	m := e.plan.Pattern.NumEdges()
+	maxDeg := 0
+	for t := 0; t < m; t++ {
+		if d := e.plan.Steps[t].Degree; d > maxDeg {
+			maxDeg = d
+		}
+	}
+	w := &worker{
+		e:        e,
+		found:    found,
+		c:        make([]uint32, m),
+		cand:     make([][]uint32, m),
+		tmp:      make([][]uint32, m),
+		slots:    make([][]uint32, e.plan.NumSlots),
+		adjLists: make([][]uint32, 0, m),
+	}
+	for t := 0; t < m; t++ {
+		w.cand[t] = make([]uint32, 0, 64)
+		w.tmp[t] = make([]uint32, 0, 64)
+	}
+	for i := range w.slots {
+		w.slots[i] = make([]uint32, 0, maxDeg)
+	}
+	if e.opts.Gen == GenHGMatch {
+		w.edgeMark = make([]uint32, h.NumEdges())
+		w.nm = make([]uint32, 0, 256)
+	}
+	if e.opts.Val == ValProfiles {
+		w.vertMark = make([]uint32, h.NumVertices())
+		w.profCount = make(map[uint64]int, 64)
+	}
+	if h.Labeled() {
+		w.labelScratch = make([]int, h.NumLabels())
+	}
+	return w
+}
+
+// mineFrom explores the search subtree rooted at first bound to position 0.
+func (w *worker) mineFrom(first uint32) {
+	if w.stop {
+		return
+	}
+	w.c[0] = first
+	if w.e.plan.Pattern.NumEdges() == 1 {
+		w.emit()
+		return
+	}
+	// Position 0 has no validation ops (a single edge carries only its
+	// degree/label constraint, enforced by firstCandidates)...
+	// except in profile mode, where step 0 establishes the profile baseline
+	// trivially and can be skipped too.
+	w.step(1)
+}
+
+// step binds position t to every surviving candidate and recurses.
+func (w *worker) step(t int) {
+	var t0 time.Time
+	instrument := w.e.opts.Instrument
+	if instrument {
+		t0 = time.Now()
+	}
+	cands := w.generate(t)
+	if instrument {
+		w.stats.GenTime += time.Since(t0)
+		w.stats.Candidates += uint64(len(cands))
+	}
+	last := t == w.e.plan.Pattern.NumEdges()-1
+	for _, c := range cands {
+		if w.stop {
+			return
+		}
+		// Deadline polling: amortize the clock read over many candidates.
+		if !w.e.deadline.IsZero() {
+			if w.tick++; w.tick&1023 == 0 && time.Now().After(w.e.deadline) {
+				w.stop = true
+				w.truncated = true
+				return
+			}
+		}
+		if !w.accept(t, c) {
+			continue
+		}
+		w.c[t] = c
+		if instrument {
+			t0 = time.Now()
+		}
+		ok := w.validate(t)
+		if instrument {
+			w.stats.ValTime += time.Since(t0)
+		}
+		if !ok {
+			continue
+		}
+		if instrument {
+			w.stats.Embeddings++
+		}
+		if last {
+			w.emit()
+		} else {
+			w.step(t + 1)
+		}
+	}
+}
+
+func (w *worker) emit() {
+	w.count++
+	if w.e.opts.OnEmbedding != nil && w.isCanonical() {
+		w.e.emitMu.Lock()
+		w.e.opts.OnEmbedding(w.c)
+		w.e.emitMu.Unlock()
+	}
+	if w.e.opts.Limit > 0 && w.found.Add(1) >= w.e.opts.Limit {
+		w.stop = true
+	}
+}
+
+// isCanonical reports whether the bound tuple is the lexicographically
+// smallest among its automorphic reorderings — the UniqueOnly filter. Each
+// unordered embedding has exactly one canonical tuple because the bound
+// hyperedges are distinct... up to co-extensive labeled duplicates, whose
+// tie keeps the original (a permuted tuple must be strictly smaller to
+// disqualify).
+func (w *worker) isCanonical() bool {
+	for _, perm := range w.e.autoPerms {
+		for i := range w.c {
+			pc := w.c[perm[i]]
+			if pc < w.c[i] {
+				return false // a strictly smaller reordering exists
+			}
+			if pc > w.c[i] {
+				break
+			}
+		}
+	}
+	return true
+}
+
+// accept applies the cheap per-candidate constraints: distinctness,
+// generation-time disconnection (skipped for profile validation, which
+// catches spurious connections itself, as HGMatch does), and the label
+// histogram for labeled patterns.
+func (w *worker) accept(t int, c uint32) bool {
+	for j := 0; j < t; j++ {
+		if w.c[j] == c {
+			return false
+		}
+	}
+	if f := w.e.opts.PositionFilter; f != nil && !f(t, c) {
+		return false
+	}
+	h := w.e.store.Hypergraph()
+	st := &w.e.plan.Steps[t]
+	if w.e.opts.Val != ValProfiles {
+		for _, j := range st.Disc {
+			if w.e.opts.Gen == GenDAL {
+				if w.e.store.Connected(c, w.c[j]) {
+					return false
+				}
+			} else if intset.Intersects(h.EdgeVertices(c), h.EdgeVertices(w.c[j])) {
+				return false
+			}
+		}
+	}
+	if st.EdgeLabel >= 0 && (!h.EdgeLabeled() || int64(h.EdgeLabel(c)) != st.EdgeLabel) {
+		return false
+	}
+	if w.e.plan.Labeled && !labelsMatch(h, c, st.EdgeLabels, w.labelScratch) {
+		return false
+	}
+	return true
+}
+
+// validate dispatches to the configured validation strategy.
+func (w *worker) validate(t int) bool {
+	if w.e.opts.Val == ValProfiles {
+		return w.validateProfiles(t)
+	}
+	return w.validateOverlaps(t)
+}
+
+// validateOverlaps executes the plan's operations for step t — the
+// incremental EOIG maintenance of Sec. 4.4: each op extends the embedding's
+// overlap state and prunes on the first mismatch.
+func (w *worker) validateOverlaps(t int) bool {
+	h := w.e.store.Hypergraph()
+	kernel := w.e.kernel
+	for i := range w.e.plan.Steps[t].Ops {
+		op := &w.e.plan.Steps[t].Ops[i]
+		a := w.resolve(op.A)
+		switch op.Kind {
+		case oig.OpIntersect:
+			b := w.resolve(op.B)
+			w.stats.SetOps++
+			out := kernel.Intersect(a, b, w.slots[op.Out][:0])
+			w.slots[op.Out] = out
+			if len(out) != op.Want {
+				return false
+			}
+			if op.LabelWant != nil && !vertLabelsMatch(h, out, op.LabelWant, w.labelScratch) {
+				return false
+			}
+		case oig.OpIntersectEq:
+			b := w.resolve(op.B)
+			w.stats.SetOps++
+			out := kernel.Intersect(a, b, w.slots[op.Out][:0])
+			w.slots[op.Out] = out
+			if !intset.Equal(out, w.resolve(op.Eq)) {
+				return false
+			}
+		case oig.OpEmptyCheck:
+			if intset.Intersects(a, w.resolve(op.B)) {
+				return false
+			}
+		case oig.OpSubsetCheck:
+			if !intset.IsSubset(a, w.resolve(op.B)) {
+				return false
+			}
+		case oig.OpEqCheck:
+			if !intset.Equal(a, w.resolve(op.Eq)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (w *worker) resolve(o oig.Operand) []uint32 {
+	if o.Edge {
+		return w.e.store.Hypergraph().EdgeVertices(w.c[o.Pos])
+	}
+	return w.slots[o.Pos]
+}
+
+// validateProfiles recomputes the profile of every distinct vertex of the
+// partial embedding and compares the multiset with the pattern's — the
+// vertex-granularity validation of HGMatch (Fig. 2(b)). The full recompute
+// per step is exactly the redundancy Fig. 3(c) measures.
+func (w *worker) validateProfiles(t int) bool {
+	h := w.e.store.Hypergraph()
+	want := w.e.plan.ProfileCounts[t]
+	clear(w.profCount)
+	w.vertStamp++
+	total := 0
+	distinctProfiles := 0
+	for i := 0; i <= t; i++ {
+		for _, v := range h.EdgeVertices(w.c[i]) {
+			if w.vertMark[v] == w.vertStamp {
+				continue
+			}
+			w.vertMark[v] = w.vertStamp
+			var profile uint64
+			for k := 0; k <= t; k++ {
+				if k == i || intset.Contains(h.EdgeVertices(w.c[k]), v) {
+					profile |= 1 << uint(k)
+				}
+			}
+			if w.e.plan.Labeled {
+				profile |= uint64(h.Label(v)) << 32
+			}
+			if w.profCount[profile] == 0 {
+				distinctProfiles++
+			}
+			w.profCount[profile]++
+			total++
+		}
+	}
+	if w.e.opts.Instrument {
+		w.stats.ProfileVertices += uint64(total)
+		w.stats.RedundantProfileVertices += uint64(total - distinctProfiles)
+	}
+	if len(w.profCount) != len(want) {
+		return false
+	}
+	for k, n := range want {
+		if w.profCount[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// labelsMatch verifies that hyperedge c's vertex label histogram equals
+// want. scratch is a per-label counter slice that is restored to zero.
+func labelsMatch(h *hypergraph.Hypergraph, c uint32, want []sig.LabelCount, scratch []int) bool {
+	return vertLabelsMatch(h, h.EdgeVertices(c), want, scratch)
+}
+
+// vertLabelsMatch verifies that the label histogram of verts equals want.
+func vertLabelsMatch(h *hypergraph.Hypergraph, verts []uint32, want []sig.LabelCount, scratch []int) bool {
+	for _, v := range verts {
+		scratch[h.Label(v)]++
+	}
+	ok := true
+	seen := 0
+	for _, lc := range want {
+		if scratch[lc.Label] != lc.Count {
+			ok = false
+		}
+		seen += lc.Count
+	}
+	if seen != len(verts) {
+		ok = false
+	}
+	for _, v := range verts {
+		scratch[h.Label(v)] = 0
+	}
+	return ok
+}
+
+// generate produces the candidate list for step t into w.cand[t].
+func (w *worker) generate(t int) []uint32 {
+	if w.e.opts.Gen == GenDAL {
+		return w.generateDAL(t)
+	}
+	return w.generateHGMatch(t)
+}
+
+// generateDAL intersects the degree-pruned adjacency groups of the
+// already-matched connected hyperedges (Sec. 4.5): only two short sorted
+// lists per constraint, no per-vertex work. Groups are intersected
+// smallest-first so the running accumulator shrinks as fast as possible.
+func (w *worker) generateDAL(t int) []uint32 {
+	st := &w.e.plan.Steps[t]
+	lists := w.adjLists[:0]
+	for _, j := range st.Conn {
+		list := w.e.store.AdjWithDegree(w.c[j], st.Degree)
+		if len(list) == 0 {
+			w.cand[t] = w.cand[t][:0]
+			return w.cand[t]
+		}
+		lists = append(lists, list)
+	}
+	w.adjLists = lists
+	// Insertion sort by length; |Conn| < pattern size, so this is a few
+	// comparisons.
+	for i := 1; i < len(lists); i++ {
+		x := lists[i]
+		k := i - 1
+		for k >= 0 && len(lists[k]) > len(x) {
+			lists[k+1] = lists[k]
+			k--
+		}
+		lists[k+1] = x
+	}
+	acc := append(w.cand[t][:0], lists[0]...)
+	for _, list := range lists[1:] {
+		out := w.e.kernel.Intersect(acc, list, w.tmp[t][:0])
+		w.tmp[t], acc = acc, out
+		if len(acc) == 0 {
+			break
+		}
+	}
+	w.cand[t] = acc
+	return acc
+}
+
+// generateHGMatch reproduces the match-by-hyperedge baseline's candidate
+// generation (Fig. 2(a)): for every pattern vertex u in the overlap between
+// pe_t and an already-matched pe_j, it re-derives NM(u) — the degree-pruned
+// union of the incident hyperedges of every vertex of c_j — and intersects
+// all the NM sets. All vertices of one overlap produce the same NM, which is
+// precisely the redundant computation OHMiner eliminates; the redundancy
+// counter feeds Fig. 3(b).
+func (w *worker) generateHGMatch(t int) []uint32 {
+	st := &w.e.plan.Steps[t]
+	s := w.e.plan.Sig
+	acc := w.cand[t][:0]
+	firstList := true
+	for _, j := range st.Conn {
+		overlapVerts := s.Size(uint32(1<<j | 1<<t))
+		for u := 0; u < overlapVerts; u++ {
+			nm := w.mergeIncident(w.c[j], st.Degree)
+			w.stats.NMFetches++
+			if u > 0 {
+				w.stats.RedundantNMFetches++
+			}
+			if firstList {
+				acc = append(acc[:0], nm...)
+				firstList = false
+			} else {
+				out := w.e.kernel.Intersect(acc, nm, w.tmp[t][:0])
+				w.tmp[t], acc = acc, out
+			}
+			if len(acc) == 0 {
+				w.cand[t] = acc
+				return acc
+			}
+		}
+	}
+	w.cand[t] = acc
+	return acc
+}
+
+// mergeIncident unions the incident hyperedges of every vertex of edge j,
+// keeping only hyperedges of the wanted degree, and returns them sorted.
+func (w *worker) mergeIncident(j uint32, degree int) []uint32 {
+	h := w.e.store.Hypergraph()
+	w.edgeStamp++
+	w.nm = w.nm[:0]
+	for _, v := range h.EdgeVertices(j) {
+		for _, e := range h.VertexEdges(v) {
+			if e == j || w.edgeMark[e] == w.edgeStamp {
+				continue
+			}
+			w.edgeMark[e] = w.edgeStamp
+			if h.Degree(e) == degree {
+				w.nm = append(w.nm, e)
+			}
+		}
+	}
+	sort.Slice(w.nm, func(a, b int) bool { return w.nm[a] < w.nm[b] })
+	return w.nm
+}

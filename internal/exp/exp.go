@@ -1,0 +1,194 @@
+// Package exp is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation (Sec. 5). Each experiment is registered
+// under the paper's figure/table identifier and produces text tables with
+// the same rows/series the paper reports; cmd/ohmbench and the repository's
+// bench_test.go are thin wrappers around this package.
+//
+// Absolute numbers differ from the paper (single-core container, synthetic
+// scaled datasets — see DESIGN.md), but the shape of each result — which
+// system wins, by roughly what factor, and where the trends go — is the
+// reproduction target recorded in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ohminer/internal/dal"
+	"ohminer/internal/gen"
+	"ohminer/internal/hypergraph"
+)
+
+// RunOpts configures an experiment run.
+type RunOpts struct {
+	// Quick trims datasets/pattern settings to keep a run in seconds; the
+	// full grid mirrors the paper.
+	Quick bool
+	// Workers is the mining goroutine count (≤0: GOMAXPROCS).
+	Workers int
+	// Seed drives pattern sampling.
+	Seed int64
+	// CellBudget bounds the time spent per (dataset, setting, variant)
+	// cell; combinatorially exploding cells are truncated to the patterns
+	// that completed, and compared systems are aligned on the common
+	// prefix (0 = unbounded).
+	CellBudget time.Duration
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	// ID is the paper identifier, e.g. "fig12", "table5".
+	ID string
+	// Title summarizes the paper content being reproduced.
+	Title string
+	// Run executes the experiment.
+	Run func(c *Context, opts RunOpts) ([]*Table, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns all registered experiments in paper order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return expOrder(out[i].ID) < expOrder(out[j].ID) })
+	return out
+}
+
+func expOrder(id string) int {
+	order := []string{"fig3", "fig12", "table5", "fig13", "fig14", "fig15", "fig16", "fig17a", "fig17b", "table6"}
+	for i, x := range order {
+		if x == id {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// ByID returns the experiment registered under id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(registry))
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+}
+
+// Context caches generated datasets and their DAL stores across
+// experiments; generation and DAL construction are deterministic, so
+// sharing is safe.
+type Context struct {
+	mu     sync.Mutex
+	stores map[string]*dal.Store
+}
+
+// NewContext returns an empty dataset cache.
+func NewContext() *Context {
+	return &Context{stores: map[string]*dal.Store{}}
+}
+
+// Dataset returns the bench-scale store for a Table 3 preset tag.
+func (c *Context) Dataset(tag string) (*dal.Store, error) {
+	return c.dataset(tag, 0)
+}
+
+// LabeledDataset returns the preset generated with vertex labels.
+func (c *Context) LabeledDataset(tag string, labels int) (*dal.Store, error) {
+	return c.dataset(tag, labels)
+}
+
+func (c *Context) dataset(tag string, labels int) (*dal.Store, error) {
+	key := fmt.Sprintf("%s/%d", tag, labels)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.stores[key]; ok {
+		return s, nil
+	}
+	p, err := gen.PresetByTag(tag)
+	if err != nil {
+		return nil, err
+	}
+	cfg := p.Config
+	if labels > 0 {
+		cfg = p.Labeled(labels)
+	}
+	h, err := gen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := dal.Build(h)
+	c.stores[key] = s
+	return s, nil
+}
+
+// Hypergraph is a convenience accessor.
+func (c *Context) Hypergraph(tag string) (*hypergraph.Hypergraph, error) {
+	s, err := c.Dataset(tag)
+	if err != nil {
+		return nil, err
+	}
+	return s.Hypergraph(), nil
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig3", "fig12", "table5", "fig13", "fig14", "fig15", "fig16", "fig17a", "fig17b", "table6", "extras", "taxonomy"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("experiment %d is %s, want %s", i, got[i].ID, id)
+		}
+		if got[i].Title == "" || got[i].Run == nil {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+	}
+	if _, err := ByID("fig12"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "T",
+		Header: []string{"a", "long-column"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("x", "y")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== T ==", "long-column", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errWrite }
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink failed" }
+
+func TestTableRenderWriteError(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a"}}
+	tbl.AddRow("x")
+	if err := tbl.Render(failWriter{}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+func TestDatasetCache(t *testing.T) {
+	c := NewContext()
+	s1, err := c.Dataset("CH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Dataset("CH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("dataset not cached")
+	}
+	l, err := c.LabeledDataset("CH", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l == s1 || !l.Hypergraph().Labeled() {
+		t.Fatal("labeled dataset wrong")
+	}
+	if _, err := c.Dataset("nope"); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+}
+
+// TestAllExperimentsQuick executes every experiment in quick mode — the
+// end-to-end harness smoke test. It is the slowest test in the repository;
+// -short skips it.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	c := NewContext()
+	opts := RunOpts{Quick: true, Seed: 42, Workers: 1}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(c, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			var buf bytes.Buffer
+			for _, tbl := range tables {
+				if err := tbl.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("%s: empty table %q", e.ID, tbl.Title)
+				}
+			}
+			t.Logf("\n%s", buf.String())
+		})
+	}
+}

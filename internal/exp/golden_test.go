@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"testing"
+
+	"ohminer/internal/engine"
+	"ohminer/internal/pattern"
+)
+
+// TestGoldenCounts pins exact embedding counts for fixed generator seeds
+// and pattern samples. Everything in the pipeline is deterministic —
+// dataset generation, pattern sampling, plan compilation, counting — so
+// any change to these numbers means observable behaviour changed: either a
+// deliberate generator/sampler revision (update the table, note it in the
+// commit) or a mining bug (fix it).
+func TestGoldenCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden counts mine full presets")
+	}
+	golden := []struct {
+		tag     string
+		setting string
+		idx     int
+		ordered uint64
+		aut     int
+	}{
+		{"CH", "P2", 0, 66327, 1},
+		{"CH", "P2", 1, 84752, 2},
+		{"CH", "P3", 0, 131616, 1},
+		{"CH", "P3", 1, 131616, 1},
+		{"SB", "P2", 0, 6012, 1},
+		{"SB", "P2", 1, 4431, 1},
+		{"SB", "P3", 0, 3650, 1},
+		{"SB", "P3", 1, 16330, 2},
+		{"WT", "P2", 0, 9585, 1},
+		{"WT", "P2", 1, 621, 1},
+		{"WT", "P3", 0, 216328, 2},
+		{"WT", "P3", 1, 5718, 1},
+	}
+	settings := map[string]pattern.Setting{
+		"P2": {Name: "P2", NumEdges: 2, VertMin: 5, VertMax: 15, Count: 2},
+		"P3": {Name: "P3", NumEdges: 3, VertMin: 10, VertMax: 20, Count: 2},
+	}
+	c := NewContext()
+	type key struct{ tag, setting string }
+	pats := map[key][]*pattern.Pattern{}
+	for _, g := range golden {
+		store, err := c.Dataset(g.tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := key{g.tag, g.setting}
+		if pats[k] == nil {
+			ps, err := pattern.SampleSet(store.Hypergraph(), settings[g.setting], 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pats[k] = ps
+		}
+		res, err := engine.Mine(store, pats[k][g.idx], engine.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ordered != g.ordered || res.Automorphisms != g.aut {
+			t.Errorf("%s/%s[%d]: ordered=%d aut=%d, golden %d/%d",
+				g.tag, g.setting, g.idx, res.Ordered, res.Automorphisms, g.ordered, g.aut)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package gen produces deterministic synthetic hypergraphs.
+//
+// The paper evaluates on eight public real-world hypergraphs (Table 3). This
+// module is offline, so gen substitutes a community/affiliation generator
+// whose presets (presets.go) match the published |V|, |E| and average
+// hyperedge degree of each dataset, with the vertex-popularity skew chosen so
+// that the WT/TC-style datasets exhibit the power-law tails the paper notes
+// and the bill-voting datasets (SB/HB) exhibit dense hyperedge overlap.
+//
+// The model: vertices are partitioned into communities; each vertex may
+// additionally join a few foreign communities (membership overlap). A
+// hyperedge picks a community (Zipf-weighted when PowerLaw is set) and
+// samples its vertices from that community's member list. Small dense
+// communities yield heavily overlapping hyperedges, the regime where overlap
+// similarity — the paper's key observation — dominates.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ohminer/internal/hypergraph"
+)
+
+// Config parameterizes the synthetic generator.
+type Config struct {
+	Name          string  // dataset tag, for logs
+	NumVertices   int     // |V|
+	NumEdges      int     // |E| requested (duplicates are regenerated)
+	Communities   int     // number of communities; smaller ⇒ denser overlap
+	MemberOverlap float64 // expected extra community memberships per vertex
+	EdgeSizeMin   int     // minimum hyperedge degree
+	EdgeSizeMax   int     // maximum hyperedge degree
+	EdgeSizeMean  float64 // target average hyperedge degree (AD in Table 3)
+	PowerLaw      bool    // Zipf community popularity (power-law tails)
+	NumLabels     int     // vertex label classes; 0 ⇒ unlabeled
+	Seed          int64   // RNG seed; same Config ⇒ same hypergraph
+}
+
+// Validate reports configuration errors before generation.
+func (c Config) Validate() error {
+	switch {
+	case c.NumVertices < 1:
+		return fmt.Errorf("gen: NumVertices=%d", c.NumVertices)
+	case c.NumEdges < 1:
+		return fmt.Errorf("gen: NumEdges=%d", c.NumEdges)
+	case c.Communities < 1:
+		return fmt.Errorf("gen: Communities=%d", c.Communities)
+	case c.EdgeSizeMin < 1 || c.EdgeSizeMax < c.EdgeSizeMin:
+		return fmt.Errorf("gen: edge size bounds [%d,%d]", c.EdgeSizeMin, c.EdgeSizeMax)
+	case c.EdgeSizeMean < float64(c.EdgeSizeMin) || c.EdgeSizeMean > float64(c.EdgeSizeMax):
+		return fmt.Errorf("gen: EdgeSizeMean=%.2f outside [%d,%d]", c.EdgeSizeMean, c.EdgeSizeMin, c.EdgeSizeMax)
+	}
+	return nil
+}
+
+// Generate builds the hypergraph described by cfg. It is deterministic in
+// cfg (including Seed).
+func Generate(cfg Config) (*hypergraph.Hypergraph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	members := assignCommunities(cfg, rng)
+
+	// Community pick weights: Zipf for power-law datasets, uniform else.
+	weights := make([]float64, cfg.Communities)
+	totalW := 0.0
+	for c := range weights {
+		if cfg.PowerLaw {
+			weights[c] = 1 / math.Pow(float64(c+1), 1.1)
+		} else {
+			weights[c] = 1
+		}
+		totalW += weights[c]
+	}
+	cum := make([]float64, cfg.Communities)
+	acc := 0.0
+	for c, w := range weights {
+		acc += w / totalW
+		cum[c] = acc
+	}
+	pickCommunity := func() int {
+		x := rng.Float64()
+		lo, hi := 0, cfg.Communities-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	// Hyperedges are deduplicated during generation so that presets hit
+	// their target |E| exactly (Build would otherwise silently shrink the
+	// dataset). Saturated tiny configurations bail out after maxAttempts and
+	// keep whatever was produced.
+	edges := make([][]uint32, 0, cfg.NumEdges)
+	seen := make(map[string]bool, cfg.NumEdges)
+	scratch := map[uint32]bool{}
+	var keyBuf []byte
+	maxAttempts := 20 * cfg.NumEdges
+	for attempts := 0; len(edges) < cfg.NumEdges && attempts < maxAttempts; attempts++ {
+		com := members[pickCommunity()]
+		size := sampleEdgeSize(cfg, rng)
+		if size > len(com) {
+			size = len(com)
+		}
+		if size < 1 {
+			continue
+		}
+		for k := range scratch {
+			delete(scratch, k)
+		}
+		edge := make([]uint32, 0, size)
+		// Sample distinct vertices from the community.
+		for tries := 0; len(edge) < size && tries < 8*size; tries++ {
+			v := com[rng.Intn(len(com))]
+			if !scratch[v] {
+				scratch[v] = true
+				edge = append(edge, v)
+			}
+		}
+		if len(edge) == 0 {
+			continue
+		}
+		sortU32(edge)
+		keyBuf = keyBuf[:0]
+		for _, v := range edge {
+			keyBuf = append(keyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		k := string(keyBuf)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		edges = append(edges, edge)
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("gen: %s: generator produced no edges", cfg.Name)
+	}
+
+	var labels []uint32
+	if cfg.NumLabels > 0 {
+		labels = make([]uint32, cfg.NumVertices)
+		for v := range labels {
+			// Zipf-skewed class sizes, as in typical labeled benchmarks.
+			labels[v] = uint32(zipfPick(rng, cfg.NumLabels, 1.2))
+		}
+	}
+	return hypergraph.Build(cfg.NumVertices, edges, labels)
+}
+
+// MustGenerate is Generate that panics on error; for tests and examples
+// using the fixed presets.
+func MustGenerate(cfg Config) *hypergraph.Hypergraph {
+	h, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// assignCommunities gives every vertex a home community plus
+// Poisson(MemberOverlap) foreign ones, and returns per-community member
+// lists.
+func assignCommunities(cfg Config, rng *rand.Rand) [][]uint32 {
+	members := make([][]uint32, cfg.Communities)
+	for v := 0; v < cfg.NumVertices; v++ {
+		home := v % cfg.Communities
+		members[home] = append(members[home], uint32(v))
+		extra := poisson(rng, cfg.MemberOverlap)
+		for k := 0; k < extra; k++ {
+			c := rng.Intn(cfg.Communities)
+			if c != home {
+				members[c] = append(members[c], uint32(v))
+			}
+		}
+	}
+	// Guarantee no empty community (possible when V < C).
+	for c := range members {
+		if len(members[c]) == 0 {
+			members[c] = append(members[c], uint32(rng.Intn(cfg.NumVertices)))
+		}
+	}
+	return members
+}
+
+// sampleEdgeSize draws a hyperedge degree from a truncated geometric
+// distribution with the configured mean.
+func sampleEdgeSize(cfg Config, rng *rand.Rand) int {
+	if cfg.EdgeSizeMin == cfg.EdgeSizeMax {
+		return cfg.EdgeSizeMin
+	}
+	mean := cfg.EdgeSizeMean - float64(cfg.EdgeSizeMin)
+	if mean <= 0 {
+		return cfg.EdgeSizeMin
+	}
+	p := 1 / (mean + 1)
+	size := cfg.EdgeSizeMin
+	for size < cfg.EdgeSizeMax && rng.Float64() > p {
+		size++
+	}
+	return size
+}
+
+func sortU32(s []uint32) {
+	// Insertion sort: hyperedges are short.
+	for i := 1; i < len(s); i++ {
+		x := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > x {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = x
+	}
+}
+
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func zipfPick(rng *rand.Rand, n int, s float64) int {
+	// Small n; linear scan over the normalized harmonic weights.
+	total := 0.0
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), s)
+	}
+	x := rng.Float64() * total
+	acc := 0.0
+	for i := 1; i <= n; i++ {
+		acc += 1 / math.Pow(float64(i), s)
+		if x <= acc {
+			return i - 1
+		}
+	}
+	return n - 1
+}

@@ -1,0 +1,158 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"ohminer/internal/hypergraph"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "t", NumVertices: 100, NumEdges: 200, Communities: 10,
+		MemberOverlap: 0.5, EdgeSizeMin: 2, EdgeSizeMax: 6, EdgeSizeMean: 3, Seed: 7}
+	h1 := MustGenerate(cfg)
+	h2 := MustGenerate(cfg)
+	if h1.NumEdges() != h2.NumEdges() || h1.TotalIncidence() != h2.TotalIncidence() {
+		t.Fatal("generator not deterministic")
+	}
+	for e := 0; e < h1.NumEdges(); e++ {
+		a, b := h1.EdgeVertices(uint32(e)), h2.EdgeVertices(uint32(e))
+		if len(a) != len(b) {
+			t.Fatalf("edge %d differs", e)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("edge %d differs at %d", e, i)
+			}
+		}
+	}
+	// Different seed must (overwhelmingly) change the result.
+	cfg.Seed = 8
+	h3 := MustGenerate(cfg)
+	same := h3.TotalIncidence() == h1.TotalIncidence()
+	if same {
+		diff := false
+		for e := 0; e < h1.NumEdges() && !diff; e++ {
+			a, b := h1.EdgeVertices(uint32(e)), h3.EdgeVertices(uint32(e))
+			if len(a) != len(b) {
+				diff = true
+				break
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					diff = true
+					break
+				}
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds produced identical hypergraphs")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{NumVertices: 0, NumEdges: 1, Communities: 1, EdgeSizeMin: 1, EdgeSizeMax: 2, EdgeSizeMean: 1.5},
+		{NumVertices: 10, NumEdges: 0, Communities: 1, EdgeSizeMin: 1, EdgeSizeMax: 2, EdgeSizeMean: 1.5},
+		{NumVertices: 10, NumEdges: 5, Communities: 0, EdgeSizeMin: 1, EdgeSizeMax: 2, EdgeSizeMean: 1.5},
+		{NumVertices: 10, NumEdges: 5, Communities: 2, EdgeSizeMin: 3, EdgeSizeMax: 2, EdgeSizeMean: 2.5},
+		{NumVertices: 10, NumEdges: 5, Communities: 2, EdgeSizeMin: 2, EdgeSizeMax: 4, EdgeSizeMean: 9},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGenerateLabels(t *testing.T) {
+	cfg := Config{Name: "t", NumVertices: 60, NumEdges: 80, Communities: 6,
+		EdgeSizeMin: 2, EdgeSizeMax: 5, EdgeSizeMean: 3, NumLabels: 4, Seed: 1}
+	h := MustGenerate(cfg)
+	if !h.Labeled() {
+		t.Fatal("labels missing")
+	}
+	if h.NumLabels() > 4 || h.NumLabels() < 1 {
+		t.Fatalf("NumLabels=%d", h.NumLabels())
+	}
+}
+
+func TestPresetsMatchTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("preset generation is slow in -short mode")
+	}
+	for _, p := range Presets() {
+		if p.Tag == "CD" || p.Tag == "AM" || p.Tag == "SYN" {
+			continue // large presets covered by TestLargePresets
+		}
+		h := MustGenerate(p.Config)
+		assertPresetShape(t, p, h)
+	}
+}
+
+func TestLargePresets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large presets")
+	}
+	for _, tag := range []string{"CD", "AM"} {
+		p, err := PresetByTag(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := MustGenerate(p.Config)
+		assertPresetShape(t, p, h)
+	}
+}
+
+func assertPresetShape(t *testing.T, p Preset, h *hypergraph.Hypergraph) {
+	t.Helper()
+	if h.NumEdges() < p.Config.NumEdges*95/100 {
+		t.Errorf("%s: |E|=%d want ≈%d", p.Tag, h.NumEdges(), p.Config.NumEdges)
+	}
+	ad := h.AvgEdgeDegree()
+	if math.Abs(ad-p.Config.EdgeSizeMean)/p.Config.EdgeSizeMean > 0.25 {
+		t.Errorf("%s: AD=%.2f want ≈%.2f", p.Tag, ad, p.Config.EdgeSizeMean)
+	}
+	if h.NumVertices() != p.Config.NumVertices {
+		t.Errorf("%s: |V|=%d want %d", p.Tag, h.NumVertices(), p.Config.NumVertices)
+	}
+}
+
+func TestPresetByTag(t *testing.T) {
+	if _, err := PresetByTag("SB"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PresetByTag("nope"); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+}
+
+func TestLabeledPreset(t *testing.T) {
+	p, _ := PresetByTag("CH")
+	cfg := p.Labeled(8)
+	if cfg.NumLabels != 8 || cfg.Name == p.Config.Name {
+		t.Fatalf("Labeled config: %+v", cfg)
+	}
+}
+
+func TestSortU32(t *testing.T) {
+	s := []uint32{5, 1, 4, 1e9, 0}
+	sortU32(s)
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			t.Fatalf("not sorted: %v", s)
+		}
+	}
+}
+
+func TestSaturatedSpaceTerminates(t *testing.T) {
+	// 3 vertices cannot host 1000 distinct hyperedges; the generator must
+	// bail out rather than loop forever, and still return a valid graph.
+	cfg := Config{Name: "sat", NumVertices: 3, NumEdges: 1000, Communities: 1,
+		EdgeSizeMin: 1, EdgeSizeMax: 3, EdgeSizeMean: 2, Seed: 3}
+	h := MustGenerate(cfg)
+	if h.NumEdges() == 0 || h.NumEdges() > 7 {
+		t.Fatalf("NumEdges=%d", h.NumEdges())
+	}
+}

@@ -1,0 +1,66 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestPowerLawSkewsVertexDegrees: power-law community popularity must
+// concentrate incidence on few vertices relative to the uniform generator —
+// the WT/TC-vs-others distinction the paper notes.
+func TestPowerLawSkewsVertexDegrees(t *testing.T) {
+	base := Config{Name: "pl", NumVertices: 3000, NumEdges: 6000, Communities: 150,
+		MemberOverlap: 0.8, EdgeSizeMin: 2, EdgeSizeMax: 10, EdgeSizeMean: 4, Seed: 5}
+	uniform := MustGenerate(base)
+	pl := base
+	pl.PowerLaw = true
+	skewed := MustGenerate(pl)
+
+	top1Share := func(h interface {
+		NumVertices() int
+		VertexDegree(uint32) int
+		TotalIncidence() int
+	}) float64 {
+		degs := make([]int, h.NumVertices())
+		for v := range degs {
+			degs[v] = h.VertexDegree(uint32(v))
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+		top := 0
+		cut := len(degs) / 100
+		if cut == 0 {
+			cut = 1
+		}
+		for _, d := range degs[:cut] {
+			top += d
+		}
+		return float64(top) / float64(h.TotalIncidence())
+	}
+	u, s := top1Share(uniform), top1Share(skewed)
+	if s <= u {
+		t.Fatalf("power-law top-1%% incidence share %.3f not above uniform %.3f", s, u)
+	}
+}
+
+// TestEdgeSizeDistributionMean: the truncated geometric sampler should land
+// near the configured mean for a mid-range target.
+func TestEdgeSizeDistributionMean(t *testing.T) {
+	cfg := Config{Name: "m", NumVertices: 5000, NumEdges: 8000, Communities: 100,
+		MemberOverlap: 0.5, EdgeSizeMin: 2, EdgeSizeMax: 30, EdgeSizeMean: 7, Seed: 6}
+	h := MustGenerate(cfg)
+	ad := h.AvgEdgeDegree()
+	if ad < 5.5 || ad > 8.5 {
+		t.Fatalf("AD=%.2f want ≈7", ad)
+	}
+}
+
+func TestFixedEdgeSize(t *testing.T) {
+	cfg := Config{Name: "f", NumVertices: 200, NumEdges: 300, Communities: 10,
+		EdgeSizeMin: 4, EdgeSizeMax: 4, EdgeSizeMean: 4, Seed: 7}
+	h := MustGenerate(cfg)
+	for e := 0; e < h.NumEdges(); e++ {
+		if h.Degree(uint32(e)) != 4 {
+			t.Fatalf("edge %d degree %d", e, h.Degree(uint32(e)))
+		}
+	}
+}

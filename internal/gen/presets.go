@@ -1,0 +1,117 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Preset describes one of the paper's evaluation datasets (Table 3) together
+// with the scale factor applied to fit the reproduction environment.
+type Preset struct {
+	// Tag is the two-letter dataset abbreviation used throughout the paper
+	// (CH, CP, SB, HB, WT, TC, CD, AM) plus SYN for the synthetic scale-out
+	// dataset of Sec. 5.4.
+	Tag string
+	// Description matches the dataset's provenance in Table 3.
+	Description string
+	// PaperVertices/PaperEdges are the published sizes.
+	PaperVertices, PaperEdges int
+	// Scale is the |E| scale factor applied for the bench-scale variant
+	// (1 = full size).
+	Scale float64
+	// Config generates the bench-scale dataset.
+	Config Config
+}
+
+// presets lists the bench-scale dataset catalogue. Community counts and size
+// bounds are tuned so the generated AD matches Table 3 within a few percent
+// and the overlap density ordering between datasets is preserved (SB/HB
+// dense, contact sets small and sparse, WT/TC power-law, CD/AM large and
+// sparse).
+var presets = []Preset{
+	{
+		Tag: "CH", Description: "contact-high-school (interaction groups)",
+		PaperVertices: 327, PaperEdges: 7818, Scale: 1,
+		Config: Config{Name: "CH", NumVertices: 327, NumEdges: 7818, Communities: 40,
+			MemberOverlap: 4.0, EdgeSizeMin: 2, EdgeSizeMax: 5, EdgeSizeMean: 2.33, Seed: 101},
+	},
+	{
+		Tag: "CP", Description: "contact-primary-school (interaction groups)",
+		PaperVertices: 242, PaperEdges: 12704, Scale: 1,
+		Config: Config{Name: "CP", NumVertices: 242, NumEdges: 12704, Communities: 30,
+			MemberOverlap: 5.0, EdgeSizeMin: 2, EdgeSizeMax: 5, EdgeSizeMean: 2.42, Seed: 102},
+	},
+	{
+		Tag: "SB", Description: "senate-bills (co-sponsorship; dense overlap)",
+		PaperVertices: 294, PaperEdges: 29157, Scale: 0.1,
+		Config: Config{Name: "SB", NumVertices: 294, NumEdges: 2916, Communities: 18,
+			MemberOverlap: 1.2, EdgeSizeMin: 3, EdgeSizeMax: 25, EdgeSizeMean: 9.9, Seed: 103},
+	},
+	{
+		Tag: "HB", Description: "house-bills (co-sponsorship; dense overlap)",
+		PaperVertices: 1494, PaperEdges: 60987, Scale: 0.1,
+		Config: Config{Name: "HB", NumVertices: 1494, NumEdges: 6099, Communities: 60,
+			MemberOverlap: 1.2, EdgeSizeMin: 5, EdgeSizeMax: 60, EdgeSizeMean: 22.15, Seed: 104},
+	},
+	{
+		Tag: "WT", Description: "walmart-trips (baskets; power-law)",
+		PaperVertices: 88860, PaperEdges: 69906, Scale: 0.1,
+		Config: Config{Name: "WT", NumVertices: 8886, NumEdges: 6991, Communities: 350,
+			MemberOverlap: 0.8, EdgeSizeMin: 2, EdgeSizeMax: 25, EdgeSizeMean: 6.86, PowerLaw: true, Seed: 105},
+	},
+	{
+		Tag: "TC", Description: "trivago-clicks (sessions; power-law)",
+		PaperVertices: 172738, PaperEdges: 233202, Scale: 0.1,
+		Config: Config{Name: "TC", NumVertices: 17274, NumEdges: 23320, Communities: 800,
+			MemberOverlap: 0.8, EdgeSizeMin: 2, EdgeSizeMax: 12, EdgeSizeMean: 3.18, PowerLaw: true, Seed: 106},
+	},
+	{
+		Tag: "CD", Description: "coauth-DBLP (papers × authors; large)",
+		PaperVertices: 1924991, PaperEdges: 3700067, Scale: 0.025,
+		Config: Config{Name: "CD", NumVertices: 48125, NumEdges: 92502, Communities: 6000,
+			MemberOverlap: 0.5, EdgeSizeMin: 2, EdgeSizeMax: 10, EdgeSizeMean: 3.14, Seed: 107},
+	},
+	{
+		Tag: "AM", Description: "AMiner (authors × publications; large)",
+		PaperVertices: 13262573, PaperEdges: 22552647, Scale: 0.007,
+		Config: Config{Name: "AM", NumVertices: 92838, NumEdges: 157869, Communities: 12000,
+			MemberOverlap: 0.5, EdgeSizeMin: 2, EdgeSizeMax: 12, EdgeSizeMean: 3.82, Seed: 108},
+	},
+	{
+		Tag: "SYN", Description: "synthetic 100M-hyperedge scale-out dataset (Sec. 5.4)",
+		PaperVertices: 50000000, PaperEdges: 100000000, Scale: 0.003,
+		Config: Config{Name: "SYN", NumVertices: 150000, NumEdges: 300000, Communities: 20000,
+			MemberOverlap: 0.6, EdgeSizeMin: 2, EdgeSizeMax: 12, EdgeSizeMean: 4.0, PowerLaw: true, Seed: 109},
+	},
+}
+
+// Presets returns the dataset catalogue ordered as in Table 3.
+func Presets() []Preset {
+	out := make([]Preset, len(presets))
+	copy(out, presets)
+	return out
+}
+
+// PresetByTag returns the preset with the given tag (case-sensitive).
+func PresetByTag(tag string) (Preset, error) {
+	for _, p := range presets {
+		if p.Tag == tag {
+			return p, nil
+		}
+	}
+	tags := make([]string, 0, len(presets))
+	for _, p := range presets {
+		tags = append(tags, p.Tag)
+	}
+	sort.Strings(tags)
+	return Preset{}, fmt.Errorf("gen: unknown preset %q (have %v)", tag, tags)
+}
+
+// Labeled returns a copy of the preset's Config with numLabels vertex label
+// classes, for the labeled-HPM experiments (Fig. 14).
+func (p Preset) Labeled(numLabels int) Config {
+	c := p.Config
+	c.NumLabels = numLabels
+	c.Name += "-labeled"
+	return c
+}

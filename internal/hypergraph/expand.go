@@ -1,0 +1,75 @@
+package hypergraph
+
+import "sort"
+
+// Graph conversions. The paper's related work notes that, lacking
+// hypergraph-native systems, practitioners convert hypergraphs to ordinary
+// graphs (losing the multi-entity semantics); these helpers implement the
+// two standard conversions so that the loss is demonstrable (see
+// TestExpansionLosesInformation and the README discussion).
+
+// CliqueExpansion returns the ordinary graph in which two vertices are
+// adjacent iff they co-occur in at least one hyperedge, as adjacency lists
+// (sorted, no self-loops). Distinct hypergraphs can produce identical
+// clique expansions — the information loss hypergraph-native mining avoids.
+func (h *Hypergraph) CliqueExpansion() [][]uint32 {
+	adj := make([]map[uint32]bool, h.NumVertices())
+	for e := 0; e < h.NumEdges(); e++ {
+		verts := h.EdgeVertices(uint32(e))
+		for i, u := range verts {
+			for _, v := range verts[i+1:] {
+				if adj[u] == nil {
+					adj[u] = map[uint32]bool{}
+				}
+				if adj[v] == nil {
+					adj[v] = map[uint32]bool{}
+				}
+				adj[u][v] = true
+				adj[v][u] = true
+			}
+		}
+	}
+	out := make([][]uint32, h.NumVertices())
+	for v := range out {
+		if adj[v] == nil {
+			continue
+		}
+		lst := make([]uint32, 0, len(adj[v]))
+		for u := range adj[v] {
+			lst = append(lst, u)
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		out[v] = lst
+	}
+	return out
+}
+
+// StarExpansion returns the bipartite incidence graph: vertex IDs
+// 0..NumVertices-1 are the original vertices, NumVertices..NumVertices+
+// NumEdges-1 represent hyperedges, and each hyperedge node is adjacent to
+// its member vertices. Unlike clique expansion it is lossless, but patterns
+// over it require two-mode semantics.
+func (h *Hypergraph) StarExpansion() [][]uint32 {
+	n := h.NumVertices()
+	out := make([][]uint32, n+h.NumEdges())
+	for e := 0; e < h.NumEdges(); e++ {
+		eid := uint32(n + e)
+		verts := h.EdgeVertices(uint32(e))
+		out[eid] = append([]uint32(nil), verts...)
+		for _, v := range verts {
+			out[v] = append(out[v], eid)
+		}
+	}
+	return out
+}
+
+// NumCliqueEdges returns the number of ordinary edges in the clique
+// expansion.
+func (h *Hypergraph) NumCliqueEdges() int {
+	adj := h.CliqueExpansion()
+	total := 0
+	for _, l := range adj {
+		total += len(l)
+	}
+	return total / 2
+}

@@ -1,0 +1,78 @@
+package hypergraph
+
+import "testing"
+
+func TestCliqueExpansion(t *testing.T) {
+	h := MustBuild(4, [][]uint32{{0, 1, 2}, {2, 3}}, nil)
+	adj := h.CliqueExpansion()
+	want := map[int][]uint32{
+		0: {1, 2},
+		1: {0, 2},
+		2: {0, 1, 3},
+		3: {2},
+	}
+	for v, w := range want {
+		got := adj[v]
+		if len(got) != len(w) {
+			t.Fatalf("adj[%d]=%v want %v", v, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("adj[%d]=%v want %v", v, got, w)
+			}
+		}
+	}
+	if h.NumCliqueEdges() != 4 {
+		t.Fatalf("clique edges %d want 4", h.NumCliqueEdges())
+	}
+}
+
+// TestExpansionLosesInformation: a single 3-vertex hyperedge and three
+// pairwise 2-vertex hyperedges have the same clique expansion — the
+// conversion cannot distinguish a true 3-way interaction from three
+// pairwise ones, which is the paper's core motivation for hypergraph-native
+// mining.
+func TestExpansionLosesInformation(t *testing.T) {
+	triangle3way := MustBuild(3, [][]uint32{{0, 1, 2}}, nil)
+	trianglePairs := MustBuild(3, [][]uint32{{0, 1}, {1, 2}, {0, 2}}, nil)
+	a := triangle3way.CliqueExpansion()
+	b := trianglePairs.CliqueExpansion()
+	for v := range a {
+		if len(a[v]) != len(b[v]) {
+			t.Fatalf("expected identical expansions, differ at %d", v)
+		}
+		for i := range a[v] {
+			if a[v][i] != b[v][i] {
+				t.Fatalf("expected identical expansions, differ at %d", v)
+			}
+		}
+	}
+	// Yet as hypergraphs they are clearly different.
+	if triangle3way.NumEdges() == trianglePairs.NumEdges() {
+		t.Fatal("fixtures should differ as hypergraphs")
+	}
+}
+
+func TestStarExpansion(t *testing.T) {
+	h := MustBuild(3, [][]uint32{{0, 1}, {1, 2}}, nil)
+	adj := h.StarExpansion()
+	if len(adj) != 5 { // 3 vertices + 2 hyperedge nodes
+		t.Fatalf("star nodes %d", len(adj))
+	}
+	// Hyperedge node 3 (= edge 0) connects to vertices 0,1.
+	if len(adj[3]) != 2 || adj[3][0] != 0 || adj[3][1] != 1 {
+		t.Fatalf("edge node adjacency %v", adj[3])
+	}
+	// Vertex 1 connects to both hyperedge nodes.
+	if len(adj[1]) != 2 || adj[1][0] != 3 || adj[1][1] != 4 {
+		t.Fatalf("vertex adjacency %v", adj[1])
+	}
+	// Lossless: total bipartite degree equals 2×incidence.
+	total := 0
+	for _, l := range adj {
+		total += len(l)
+	}
+	if total != 2*h.TotalIncidence() {
+		t.Fatalf("bipartite degree %d want %d", total, 2*h.TotalIncidence())
+	}
+}

@@ -1,0 +1,44 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the text parser: arbitrary input must never panic, and
+// anything that parses must survive a write/parse roundtrip with identical
+// structure.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"0 1 2\n2 3\n",
+		"# c\n0 1\n#labels\n0 1\n1 0\n",
+		"0 1\n#edgelabels\n0 7\n",
+		"",
+		"#labels\n",
+		"0",
+		"4294967295\n", // sparse-id guard: must be rejected, not allocated
+		"0 0 0\n",
+		"1 2\n\n\n3 4 1\n% x\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		h, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := h.Write(&buf); err != nil {
+			t.Fatalf("write after parse: %v", err)
+		}
+		h2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if h2.NumEdges() != h.NumEdges() || h2.TotalIncidence() != h.TotalIncidence() {
+			t.Fatalf("roundtrip mismatch: %s vs %s", h, h2)
+		}
+	})
+}

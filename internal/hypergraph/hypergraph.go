@@ -1,0 +1,150 @@
+// Package hypergraph defines the in-memory hypergraph representation shared
+// by every component of the system.
+//
+// A hypergraph H = (V, E) stores both incidence directions in CSR form:
+// edge → sorted vertex list (the hyperedge contents) and vertex → sorted
+// incident-edge list. Hyperedge vertex lists are the primary operands of the
+// overlap-centric execution model, so they are kept sorted and duplicate-free
+// at construction time; the builder also removes duplicate hyperedges, the
+// preprocessing step the paper applies to all datasets (Sec. 5.1).
+//
+// Vertices may carry integer labels for labeled HPM. Label IDs are dense
+// (0..NumLabels-1).
+package hypergraph
+
+import "fmt"
+
+// Hypergraph is an immutable hypergraph with dual CSR incidence.
+// Construct with Build or Parse; the zero value is an empty hypergraph.
+type Hypergraph struct {
+	edgeOff    []uint32 // len NumEdges+1; offsets into edgeVerts
+	edgeVerts  []uint32 // concatenated sorted vertex lists
+	vertOff    []uint32 // len NumVertices+1; offsets into vertEdges
+	vertEdges  []uint32 // concatenated sorted incident-edge lists
+	labels     []uint32 // per-vertex label, nil when unlabeled
+	numLabels  int
+	edgeLabels []uint32 // per-hyperedge label, nil when unlabeled
+}
+
+// NumVertices returns |V|.
+func (h *Hypergraph) NumVertices() int {
+	if len(h.vertOff) == 0 {
+		return 0
+	}
+	return len(h.vertOff) - 1
+}
+
+// NumEdges returns |E|.
+func (h *Hypergraph) NumEdges() int {
+	if len(h.edgeOff) == 0 {
+		return 0
+	}
+	return len(h.edgeOff) - 1
+}
+
+// EdgeVertices returns the sorted vertex list of hyperedge e. The slice
+// aliases internal storage and must not be modified.
+func (h *Hypergraph) EdgeVertices(e uint32) []uint32 {
+	return h.edgeVerts[h.edgeOff[e]:h.edgeOff[e+1]]
+}
+
+// Degree returns D(e), the number of vertices in hyperedge e.
+func (h *Hypergraph) Degree(e uint32) int {
+	return int(h.edgeOff[e+1] - h.edgeOff[e])
+}
+
+// VertexEdges returns the sorted incident hyperedge list N(v). The slice
+// aliases internal storage and must not be modified.
+func (h *Hypergraph) VertexEdges(v uint32) []uint32 {
+	return h.vertEdges[h.vertOff[v]:h.vertOff[v+1]]
+}
+
+// VertexDegree returns D(v), the number of hyperedges incident to vertex v.
+func (h *Hypergraph) VertexDegree(v uint32) int {
+	return int(h.vertOff[v+1] - h.vertOff[v])
+}
+
+// Labeled reports whether vertices carry labels.
+func (h *Hypergraph) Labeled() bool { return h.labels != nil }
+
+// NumLabels returns the number of distinct vertex labels (0 when unlabeled).
+func (h *Hypergraph) NumLabels() int { return h.numLabels }
+
+// Label returns the label of vertex v; it panics when the hypergraph is
+// unlabeled.
+func (h *Hypergraph) Label(v uint32) uint32 { return h.labels[v] }
+
+// Labels returns the full per-vertex label slice (nil when unlabeled). The
+// slice aliases internal storage and must not be modified.
+func (h *Hypergraph) Labels() []uint32 { return h.labels }
+
+// EdgeLabeled reports whether hyperedges carry labels — the
+// hyperedge-labeled extension of Sec. 4.3.1.
+func (h *Hypergraph) EdgeLabeled() bool { return h.edgeLabels != nil }
+
+// EdgeLabel returns the label of hyperedge e; it panics when hyperedges are
+// unlabeled.
+func (h *Hypergraph) EdgeLabel(e uint32) uint32 { return h.edgeLabels[e] }
+
+// TotalIncidence returns Σ_e D(e) (= Σ_v D(v)), the incidence count.
+func (h *Hypergraph) TotalIncidence() int { return len(h.edgeVerts) }
+
+// AvgEdgeDegree returns the average hyperedge degree (AD in Table 3).
+func (h *Hypergraph) AvgEdgeDegree() float64 {
+	if h.NumEdges() == 0 {
+		return 0
+	}
+	return float64(len(h.edgeVerts)) / float64(h.NumEdges())
+}
+
+// MaxEdgeDegree returns the largest hyperedge degree.
+func (h *Hypergraph) MaxEdgeDegree() int {
+	max := 0
+	for e := 0; e < h.NumEdges(); e++ {
+		if d := h.Degree(uint32(e)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MemoryBytes estimates the resident size of the CSR arrays. Used for the
+// Table 6 memory accounting.
+func (h *Hypergraph) MemoryBytes() int64 {
+	n := len(h.edgeOff) + len(h.edgeVerts) + len(h.vertOff) + len(h.vertEdges) + len(h.labels) + len(h.edgeLabels)
+	return int64(n) * 4
+}
+
+// Fingerprint returns a content hash of the hypergraph structure (FNV-1a
+// over both CSR directions and labels). Derived artifacts (e.g. a persisted
+// DAL) embed it to detect mismatched inputs at load time.
+func (h *Hypergraph) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	hash := uint64(offset)
+	mix := func(arr []uint32) {
+		for _, v := range arr {
+			hash ^= uint64(v)
+			hash *= prime
+		}
+		hash ^= uint64(len(arr))
+		hash *= prime
+	}
+	mix(h.edgeOff)
+	mix(h.edgeVerts)
+	mix(h.labels)
+	mix(h.edgeLabels)
+	return hash
+}
+
+// String summarizes the hypergraph for logs.
+func (h *Hypergraph) String() string {
+	tag := ""
+	if h.Labeled() {
+		tag = fmt.Sprintf(", %d labels", h.numLabels)
+	}
+	return fmt.Sprintf("hypergraph{|V|=%d, |E|=%d, AD=%.2f%s}",
+		h.NumVertices(), h.NumEdges(), h.AvgEdgeDegree(), tag)
+}

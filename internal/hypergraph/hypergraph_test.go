@@ -1,0 +1,280 @@
+package hypergraph
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperExample is the data hypergraph of Figure 1(b): 12 vertices, 5 edges.
+//
+//	e1={v1..v6} e2={v4..v9} e3={v4,v5,v6,v10,v11,v12,v7,v8} e4={...} e5={...}
+//
+// We use a structurally similar fixture with known incidences.
+func paperExample(t *testing.T) *Hypergraph {
+	t.Helper()
+	edges := [][]uint32{
+		{0, 1, 2, 3, 4, 5},         // e1
+		{3, 4, 5, 6, 7, 8},         // e2
+		{3, 4, 5, 6, 7, 9, 10, 11}, // e3
+	}
+	h, err := Build(12, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestBuildBasics(t *testing.T) {
+	h := paperExample(t)
+	if h.NumVertices() != 12 || h.NumEdges() != 3 {
+		t.Fatalf("got %s", h)
+	}
+	if d := h.Degree(2); d != 8 {
+		t.Fatalf("Degree(e3)=%d want 8", d)
+	}
+	if got := h.EdgeVertices(0); len(got) != 6 || got[0] != 0 || got[5] != 5 {
+		t.Fatalf("EdgeVertices(0)=%v", got)
+	}
+	// v3 and v4 are in all three edges.
+	for _, v := range []uint32{3, 4} {
+		ne := h.VertexEdges(v)
+		if len(ne) != 3 {
+			t.Fatalf("VertexEdges(%d)=%v", v, ne)
+		}
+	}
+	if h.VertexDegree(0) != 1 || h.VertexDegree(9) != 1 {
+		t.Fatal("vertex degrees wrong")
+	}
+	if h.Labeled() {
+		t.Fatal("unexpectedly labeled")
+	}
+}
+
+func TestBuildDedup(t *testing.T) {
+	// Duplicate vertices within an edge and duplicate edges (in different
+	// orders) must be removed; empty edges dropped.
+	edges := [][]uint32{
+		{2, 1, 1, 2, 0},
+		{0, 1, 2},
+		{2, 0, 1},
+		{},
+		{3},
+	}
+	h, err := Build(4, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 2 {
+		t.Fatalf("NumEdges=%d want 2 (dedup failed)", h.NumEdges())
+	}
+	if got := h.EdgeVertices(0); len(got) != 3 {
+		t.Fatalf("EdgeVertices(0)=%v", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(2, [][]uint32{{0, 5}}, nil); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	if _, err := Build(2, nil, nil); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	if _, err := Build(2, [][]uint32{{}}, nil); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty for all-empty edges, got %v", err)
+	}
+	if _, err := Build(3, [][]uint32{{0}}, []uint32{1}); err == nil {
+		t.Fatal("bad label length accepted")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	h, err := Build(4, [][]uint32{{0, 1}, {2, 3}}, []uint32{0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Labeled() || h.NumLabels() != 3 {
+		t.Fatalf("labels: %v %d", h.Labeled(), h.NumLabels())
+	}
+	if h.Label(2) != 1 {
+		t.Fatalf("Label(2)=%d", h.Label(2))
+	}
+}
+
+func TestDualCSRConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 2 + rng.Intn(30)
+		ne := 1 + rng.Intn(40)
+		edges := make([][]uint32, ne)
+		for i := range edges {
+			sz := 1 + rng.Intn(6)
+			for j := 0; j < sz; j++ {
+				edges[i] = append(edges[i], uint32(rng.Intn(nv)))
+			}
+		}
+		h, err := Build(nv, edges, nil)
+		if err != nil {
+			return false
+		}
+		// v ∈ EdgeVertices(e)  ⇔  e ∈ VertexEdges(v)
+		for e := 0; e < h.NumEdges(); e++ {
+			for _, v := range h.EdgeVertices(uint32(e)) {
+				found := false
+				for _, ee := range h.VertexEdges(v) {
+					if ee == uint32(e) {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		total := 0
+		for v := 0; v < h.NumVertices(); v++ {
+			ne := h.VertexEdges(uint32(v))
+			total += len(ne)
+			if !sort.SliceIsSorted(ne, func(i, j int) bool { return ne[i] < ne[j] }) {
+				return false
+			}
+		}
+		return total == h.TotalIncidence()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseWriteRoundtrip(t *testing.T) {
+	in := "# comment\n0 1 2\n2 3\n% other comment\n1 4\n#labels\n0 0\n1 1\n2 0\n3 1\n4 2\n"
+	h, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 3 || h.NumVertices() != 5 || !h.Labeled() {
+		t.Fatalf("parsed %s", h)
+	}
+	var buf bytes.Buffer
+	if err := h.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumEdges() != h.NumEdges() || h2.NumVertices() != h.NumVertices() {
+		t.Fatalf("roundtrip mismatch: %s vs %s", h, h2)
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		if h.Label(uint32(v)) != h2.Label(uint32(v)) {
+			t.Fatalf("label mismatch at %d", v)
+		}
+	}
+}
+
+func TestEdgeLabelRoundtrip(t *testing.T) {
+	h, err := BuildEdgeLabeled(5,
+		[][]uint32{{0, 1, 2}, {0, 1, 2}, {2, 3, 4}},
+		[]uint32{0, 1, 0, 1, 2},
+		[]uint32{7, 8, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 3 || !h.EdgeLabeled() {
+		t.Fatalf("built %s", h)
+	}
+	var buf bytes.Buffer
+	if err := h.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h2.EdgeLabeled() || h2.NumEdges() != 3 {
+		t.Fatalf("roundtrip: %s edgeLabeled=%v", h2, h2.EdgeLabeled())
+	}
+	for e := 0; e < 3; e++ {
+		if h.EdgeLabel(uint32(e)) != h2.EdgeLabel(uint32(e)) {
+			t.Fatalf("edge %d label %d != %d", e, h.EdgeLabel(uint32(e)), h2.EdgeLabel(uint32(e)))
+		}
+	}
+}
+
+func TestBuildEdgeLabeledErrors(t *testing.T) {
+	if _, err := BuildEdgeLabeled(3, [][]uint32{{0, 1}}, nil, []uint32{0, 1}); err == nil {
+		t.Fatal("edge label count mismatch accepted")
+	}
+	// Identical set + identical label is a duplicate.
+	h, err := BuildEdgeLabeled(3, [][]uint32{{0, 1}, {1, 0}}, nil, []uint32{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 1 {
+		t.Fatalf("NumEdges=%d want 1", h.NumEdges())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"0 x 2\n",
+		"#labels\n0\n",
+		"#labels\n0 y\n",
+		"0 1\n#labels\n7 0\n",     // label for unknown vertex
+		"0 1\n#edgelabels\n5 0\n", // edge label for unknown hyperedge
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("Parse(%q) accepted", c)
+		}
+	}
+}
+
+func TestOverlapAndConnected(t *testing.T) {
+	h := paperExample(t)
+	ov := h.Overlap(0, 1)
+	if len(ov) != 3 || ov[0] != 3 || ov[2] != 5 {
+		t.Fatalf("Overlap(e1,e2)=%v", ov)
+	}
+	if !h.Connected(0, 2) || !h.Connected(1, 2) {
+		t.Fatal("expected connections missing")
+	}
+}
+
+func TestStats(t *testing.T) {
+	h := paperExample(t)
+	s := ComputeStats(h)
+	if s.NumEdges != 3 || s.MaxEdgeDeg != 8 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.AvgEdgeDeg < 6.6 || s.AvgEdgeDeg > 6.7 {
+		t.Fatalf("AD=%f", s.AvgEdgeDeg)
+	}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestConnectionDensity(t *testing.T) {
+	h := paperExample(t)
+	// All three edges have degree 6,6,8 and all pairs overlap → density 1.
+	d := ConnectionDensity(h, []int{6, 8}, 0, 1)
+	if d != 1 {
+		t.Fatalf("density=%f want 1", d)
+	}
+	// A degree matching no edge → 0.
+	if d := ConnectionDensity(h, []int{99}, 0, 1); d != 0 {
+		t.Fatalf("density=%f want 0", d)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	h := paperExample(t)
+	if h.MemoryBytes() <= 0 {
+		t.Fatal("non-positive memory estimate")
+	}
+}

@@ -1,0 +1,204 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Text format: one hyperedge per line, whitespace-separated vertex IDs.
+// Lines starting with '#' or '%' are comments. This matches the common
+// publication format of the Benson hypergraph collection used by the paper.
+//
+// Two optional blocks may follow:
+//
+//	#labels      — one "vertex label" pair per subsequent line
+//	#edgelabels  — one "edgeIndex label" pair per subsequent line, where
+//	               edgeIndex counts hyperedge lines in file order
+//
+// Parse reads a hypergraph in text format from r.
+func Parse(r io.Reader) (*Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var edges [][]uint32
+	maxV := -1
+	const (
+		modeEdges = iota
+		modeLabels
+		modeEdgeLabels
+	)
+	mode := modeEdges
+	labelMap := map[uint32]uint32{}
+	edgeLabelMap := map[uint32]uint32{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch line {
+		case "#labels":
+			mode = modeLabels
+			continue
+		case "#edgelabels":
+			mode = modeEdgeLabels
+			continue
+		}
+		if line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if mode != modeEdges {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("hypergraph: line %d: label lines need two fields", lineNo)
+			}
+			k, err := strconv.ParseUint(fields[0], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("hypergraph: line %d: %v", lineNo, err)
+			}
+			l, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("hypergraph: line %d: %v", lineNo, err)
+			}
+			if mode == modeLabels {
+				labelMap[uint32(k)] = uint32(l)
+			} else {
+				edgeLabelMap[uint32(k)] = uint32(l)
+			}
+			continue
+		}
+		edge := make([]uint32, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("hypergraph: line %d: %v", lineNo, err)
+			}
+			if int(v) > maxV {
+				maxV = int(v)
+			}
+			edge = append(edge, uint32(v))
+		}
+		edges = append(edges, edge)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hypergraph: read: %w", err)
+	}
+	// Vertex IDs must be (reasonably) dense: the CSR representation
+	// allocates O(maxID) storage, so a stray huge ID in a malformed file
+	// would otherwise exhaust memory before any semantic check runs.
+	incidence := 0
+	for _, e := range edges {
+		incidence += len(e)
+	}
+	if maxV >= 0 && maxV+1 > denseIDBudget(incidence) {
+		return nil, fmt.Errorf("hypergraph: vertex id %d too sparse for %d incidence entries (dense ids required)", maxV, incidence)
+	}
+	var labels []uint32
+	if len(labelMap) > 0 {
+		labels = make([]uint32, maxV+1)
+		for v, l := range labelMap {
+			if int(v) > maxV {
+				return nil, fmt.Errorf("hypergraph: label for unknown vertex %d", v)
+			}
+			labels[v] = l
+		}
+	}
+	var edgeLabels []uint32
+	if len(edgeLabelMap) > 0 {
+		edgeLabels = make([]uint32, len(edges))
+		for e, l := range edgeLabelMap {
+			if int(e) >= len(edges) {
+				return nil, fmt.Errorf("hypergraph: edge label for unknown hyperedge %d", e)
+			}
+			edgeLabels[e] = l
+		}
+	}
+	return BuildEdgeLabeled(maxV+1, edges, labels, edgeLabels)
+}
+
+// denseIDBudget bounds the vertex universe a parsed file may declare:
+// generous slack over the incidence count, with a floor for tiny files.
+func denseIDBudget(incidence int) int {
+	budget := 1000 * incidence
+	if budget < 1<<20 {
+		budget = 1 << 20
+	}
+	return budget
+}
+
+// Load reads a hypergraph in text format from the named file.
+func Load(path string) (*Hypergraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Write serializes h in the text format understood by Parse.
+func (h *Hypergraph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for e := 0; e < h.NumEdges(); e++ {
+		buf = buf[:0]
+		for i, v := range h.EdgeVertices(uint32(e)) {
+			if i > 0 {
+				buf = append(buf, ' ')
+			}
+			buf = strconv.AppendUint(buf, uint64(v), 10)
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	if h.Labeled() {
+		if _, err := bw.WriteString("#labels\n"); err != nil {
+			return err
+		}
+		for v := 0; v < h.NumVertices(); v++ {
+			buf = buf[:0]
+			buf = strconv.AppendUint(buf, uint64(v), 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendUint(buf, uint64(h.Label(uint32(v))), 10)
+			buf = append(buf, '\n')
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	if h.EdgeLabeled() {
+		if _, err := bw.WriteString("#edgelabels\n"); err != nil {
+			return err
+		}
+		for e := 0; e < h.NumEdges(); e++ {
+			buf = buf[:0]
+			buf = strconv.AppendUint(buf, uint64(e), 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendUint(buf, uint64(h.EdgeLabel(uint32(e))), 10)
+			buf = append(buf, '\n')
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Save writes h to the named file in text format.
+func (h *Hypergraph) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := h.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,111 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ohminer/internal/intset"
+)
+
+// Stats summarizes the structural properties the evaluation section cares
+// about (Table 3 columns plus the overlap/connection-density measurements of
+// Fig. 3(d)).
+type Stats struct {
+	NumVertices   int
+	NumEdges      int
+	AvgEdgeDeg    float64
+	MaxEdgeDeg    int
+	AvgVertexDeg  float64
+	MaxVertexDeg  int
+	EdgeDegreeP50 int
+	EdgeDegreeP99 int
+}
+
+// ComputeStats gathers summary statistics for h.
+func ComputeStats(h *Hypergraph) Stats {
+	s := Stats{
+		NumVertices: h.NumVertices(),
+		NumEdges:    h.NumEdges(),
+		AvgEdgeDeg:  h.AvgEdgeDegree(),
+	}
+	degs := make([]int, h.NumEdges())
+	for e := range degs {
+		degs[e] = h.Degree(uint32(e))
+		if degs[e] > s.MaxEdgeDeg {
+			s.MaxEdgeDeg = degs[e]
+		}
+	}
+	sort.Ints(degs)
+	if len(degs) > 0 {
+		s.EdgeDegreeP50 = degs[len(degs)/2]
+		s.EdgeDegreeP99 = degs[len(degs)*99/100]
+	}
+	totalVD := 0
+	for v := 0; v < h.NumVertices(); v++ {
+		d := h.VertexDegree(uint32(v))
+		totalVD += d
+		if d > s.MaxVertexDeg {
+			s.MaxVertexDeg = d
+		}
+	}
+	if h.NumVertices() > 0 {
+		s.AvgVertexDeg = float64(totalVD) / float64(h.NumVertices())
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d AD=%.2f maxD(e)=%d avgD(v)=%.2f maxD(v)=%d",
+		s.NumVertices, s.NumEdges, s.AvgEdgeDeg, s.MaxEdgeDeg, s.AvgVertexDeg, s.MaxVertexDeg)
+}
+
+// ConnectionDensity estimates the connection density C of Fig. 3: among
+// hyperedges of the data hypergraph whose degrees match the degrees of a
+// pattern's hyperedges, what fraction of pairs overlap? It samples up to
+// sampleSize candidate edges per distinct pattern degree, computes pairwise
+// connectivity between the degree-mapped groups, and returns
+// Cons * 2 / (n*(n-1)) over the sampled sub-population.
+func ConnectionDensity(h *Hypergraph, patternDegrees []int, sampleSize int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	// Bucket data edges by degree, keeping only the degrees the pattern uses.
+	want := map[int]bool{}
+	for _, d := range patternDegrees {
+		want[d] = true
+	}
+	var pool []uint32
+	for e := 0; e < h.NumEdges(); e++ {
+		if want[h.Degree(uint32(e))] {
+			pool = append(pool, uint32(e))
+		}
+	}
+	if len(pool) < 2 {
+		return 0
+	}
+	if sampleSize > 0 && len(pool) > sampleSize {
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		pool = pool[:sampleSize]
+	}
+	cons := 0
+	for i := 0; i < len(pool); i++ {
+		for j := i + 1; j < len(pool); j++ {
+			if intset.Intersects(h.EdgeVertices(pool[i]), h.EdgeVertices(pool[j])) {
+				cons++
+			}
+		}
+	}
+	n := len(pool)
+	return float64(cons) * 2 / float64(n*(n-1))
+}
+
+// Overlap returns the overlap (set of common vertices) between hyperedges a
+// and b, allocating the result.
+func (h *Hypergraph) Overlap(a, b uint32) []uint32 {
+	return intset.Intersect(h.EdgeVertices(a), h.EdgeVertices(b), nil)
+}
+
+// Connected reports whether hyperedges a and b share at least one vertex.
+// This is the definition-level check; the DAL store provides the fast path.
+func (h *Hypergraph) Connected(a, b uint32) bool {
+	return intset.Intersects(h.EdgeVertices(a), h.EdgeVertices(b))
+}

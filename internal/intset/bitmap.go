@@ -1,0 +1,117 @@
+package intset
+
+import "math/bits"
+
+// Bitmap is a fixed-universe bitset used to accelerate repeated
+// intersections against one hot set: materialize the hot operand once, then
+// probe the short operands against it in O(len(short)) with word-level
+// tests. The mining engine's adjacency intersections are sorted-list vs
+// sorted-list, but the motif/census layer and the DAL's Connected fast path
+// benefit when one side (e.g. a very high-degree hyperedge's vertex set) is
+// reused across thousands of probes — the data-level-parallelism idea of
+// the paper's SIMD kernels expressed with 64-bit words.
+type Bitmap struct {
+	words []uint64
+	n     int // population count
+}
+
+// NewBitmap builds a bitmap over the universe [0, universe).
+func NewBitmap(universe int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (universe+63)/64)}
+}
+
+// Reset clears all bits.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.n = 0
+}
+
+// SetAll marks every element of the sorted set s.
+func (b *Bitmap) SetAll(s []uint32) {
+	for _, x := range s {
+		w, bit := x>>6, uint64(1)<<(x&63)
+		if b.words[w]&bit == 0 {
+			b.words[w] |= bit
+			b.n++
+		}
+	}
+}
+
+// Set marks one element.
+func (b *Bitmap) Set(x uint32) {
+	w, bit := x>>6, uint64(1)<<(x&63)
+	if b.words[w]&bit == 0 {
+		b.words[w] |= bit
+		b.n++
+	}
+}
+
+// Contains reports membership.
+func (b *Bitmap) Contains(x uint32) bool {
+	w := int(x >> 6)
+	return w < len(b.words) && b.words[w]&(uint64(1)<<(x&63)) != 0
+}
+
+// Len returns the population count.
+func (b *Bitmap) Len() int { return b.n }
+
+// IntersectCount returns |b ∩ s| for a sorted set s.
+func (b *Bitmap) IntersectCount(s []uint32) int {
+	n := 0
+	for _, x := range s {
+		if b.words[x>>6]&(uint64(1)<<(x&63)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Intersect writes b ∩ s into dst (s sorted ⇒ output sorted).
+func (b *Bitmap) Intersect(s, dst []uint32) []uint32 {
+	dst = dst[:0]
+	for _, x := range s {
+		if b.words[x>>6]&(uint64(1)<<(x&63)) != 0 {
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+// Intersects reports whether b and s share an element (early exit).
+func (b *Bitmap) Intersects(s []uint32) bool {
+	for _, x := range s {
+		if b.words[x>>6]&(uint64(1)<<(x&63)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectBitmapCount returns |b ∩ o| via word-parallel AND/popcount.
+func (b *Bitmap) IntersectBitmapCount(o *Bitmap) int {
+	n := 0
+	words := b.words
+	other := o.words
+	if len(other) < len(words) {
+		words, other = other, words
+	}
+	for i, w := range words {
+		n += bits.OnesCount64(w & other[i])
+	}
+	return n
+}
+
+// ToSlice returns the members as a sorted slice.
+func (b *Bitmap) ToSlice(dst []uint32) []uint32 {
+	dst = dst[:0]
+	for wi, w := range b.words {
+		base := uint32(wi) << 6
+		for w != 0 {
+			dst = append(dst, base+uint32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}

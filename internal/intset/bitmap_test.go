@@ -1,0 +1,107 @@
+package intset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(200)
+	if b.Len() != 0 || b.Contains(5) {
+		t.Fatal("fresh bitmap not empty")
+	}
+	b.SetAll([]uint32{3, 64, 130, 199})
+	if b.Len() != 4 {
+		t.Fatalf("Len=%d", b.Len())
+	}
+	for _, x := range []uint32{3, 64, 130, 199} {
+		if !b.Contains(x) {
+			t.Fatalf("missing %d", x)
+		}
+	}
+	if b.Contains(4) || b.Contains(63) {
+		t.Fatal("phantom members")
+	}
+	b.Set(3) // idempotent
+	if b.Len() != 4 {
+		t.Fatalf("duplicate Set changed Len to %d", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Contains(3) {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestBitmapAgainstSortedOps(t *testing.T) {
+	f := func(av, bv []uint32) bool {
+		a, b := mkSet(clip(av, 500)), mkSet(clip(bv, 500))
+		bm := NewBitmap(512)
+		bm.SetAll(a)
+		want := refIntersect(a, b)
+		if bm.IntersectCount(b) != len(want) {
+			return false
+		}
+		if !eq(bm.Intersect(b, nil), want) {
+			return false
+		}
+		if bm.Intersects(b) != (len(want) > 0) {
+			return false
+		}
+		if !eq(bm.ToSlice(nil), a) {
+			return false
+		}
+		bm2 := NewBitmap(512)
+		bm2.SetAll(b)
+		return bm.IntersectBitmapCount(bm2) == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clip(vs []uint32, max uint32) []uint32 {
+	out := make([]uint32, len(vs))
+	for i, v := range vs {
+		out[i] = v % max
+	}
+	return out
+}
+
+func TestBitmapMismatchedUniverses(t *testing.T) {
+	small := NewBitmap(64)
+	big := NewBitmap(1024)
+	small.SetAll([]uint32{1, 63})
+	big.SetAll([]uint32{1, 63, 900})
+	if got := small.IntersectBitmapCount(big); got != 2 {
+		t.Fatalf("count=%d", got)
+	}
+	if got := big.IntersectBitmapCount(small); got != 2 {
+		t.Fatalf("count=%d", got)
+	}
+	// Contains beyond the universe must not panic and reports false.
+	if small.Contains(5000) {
+		t.Fatal("contains beyond universe")
+	}
+}
+
+func BenchmarkBitmapProbe(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	hot := randSet(rng, 4096, 1<<16)
+	probes := make([][]uint32, 64)
+	for i := range probes {
+		probes[i] = randSet(rng, 32, 1<<16)
+	}
+	bm := NewBitmap(1 << 16)
+	bm.SetAll(hot)
+	b.Run("bitmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bm.IntersectCount(probes[i&63])
+		}
+	})
+	b.Run("gallop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			IntersectCountFast(probes[i&63], hot)
+		}
+	})
+}

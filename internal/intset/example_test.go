@@ -1,0 +1,35 @@
+package intset_test
+
+import (
+	"fmt"
+
+	"ohminer/internal/intset"
+)
+
+// ExampleIntersect demonstrates the basic sorted-set operations the mining
+// engine is built from.
+func ExampleIntersect() {
+	a := []uint32{1, 3, 5, 7, 9}
+	b := []uint32{3, 4, 5, 6, 7}
+	fmt.Println(intset.Intersect(a, b, nil))
+	fmt.Println(intset.IntersectCount(a, b))
+	fmt.Println(intset.Intersects(a, []uint32{2, 4, 6}))
+	fmt.Println(intset.IsSubset([]uint32{3, 7}, a))
+	// Output:
+	// [3 5 7]
+	// 3
+	// false
+	// true
+}
+
+// ExampleBitmap shows the hot-set probe pattern: materialize one set once,
+// probe many short sets against it.
+func ExampleBitmap() {
+	bm := intset.NewBitmap(128)
+	bm.SetAll([]uint32{10, 20, 30, 40})
+	fmt.Println(bm.IntersectCount([]uint32{20, 25, 30}))
+	fmt.Println(bm.Intersects([]uint32{1, 2, 3}))
+	// Output:
+	// 2
+	// false
+}

@@ -1,0 +1,307 @@
+// Package mbv implements the match-by-vertex baseline — the first category
+// of HPM systems in the paper's taxonomy (Sec. 2.3): extend partial
+// embeddings one *vertex* at a time, validating hyperedges whenever all of
+// a pattern hyperedge's vertices are mapped. The approach enumerates every
+// vertex bijection rather than every hyperedge tuple, which is exactly the
+// search-space blow-up HGMatch (and then OHMiner) eliminates; HGMatch
+// reports four orders of magnitude over these systems, and this
+// implementation exists to reproduce that gap and to serve as a third
+// independent counting oracle.
+//
+// Counting semantics: a full vertex mapping determines the hyperedge tuple
+// uniquely (data hyperedges are deduplicated), and each ordered hyperedge
+// tuple admits exactly Π_regions (regionSize!) vertex bijections, so
+//
+//	orderedEdgeTuples = vertexMappings / Π_regions (regionSize!)
+//
+// which the tests cross-check against both the engine and brute force.
+package mbv
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"ohminer/internal/hypergraph"
+	"ohminer/internal/pattern"
+)
+
+// Result reports one match-by-vertex mining run.
+type Result struct {
+	// VertexMappings is the number of valid pattern-vertex → data-vertex
+	// bijections (the raw search-space size this approach explores).
+	VertexMappings uint64
+	// Ordered is the equivalent ordered hyperedge-tuple count, comparable
+	// with engine.Result.Ordered.
+	Ordered uint64
+	Elapsed time.Duration
+}
+
+// Mine counts embeddings of p in h by vertex-at-a-time extension. Labeled
+// patterns respect vertex labels. Exponential in pattern vertices — this is
+// the baseline's defining weakness; use it on small workloads only.
+func Mine(h *hypergraph.Hypergraph, p *pattern.Pattern) (Result, error) {
+	if p.EdgeLabeled() {
+		return Result{}, errors.New("mbv: hyperedge labels unsupported by the match-by-vertex baseline")
+	}
+	if p.Labeled() && !h.Labeled() {
+		return Result{}, errors.New("mbv: labeled pattern on unlabeled hypergraph")
+	}
+	start := time.Now()
+	m := newMatcher(h, p)
+	m.rec(0)
+
+	res := Result{VertexMappings: m.count}
+	div := regionFactorialProduct(p)
+	if div == 0 || m.count%div != 0 {
+		return res, errors.New("mbv: internal error: mapping count not divisible by region factorial product")
+	}
+	res.Ordered = m.count / div
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+type matcher struct {
+	h *hypergraph.Hypergraph
+	p *pattern.Pattern
+
+	order []uint32 // pattern vertices in connected matching order
+	// coMapped[i] lists earlier-ordered pattern vertices sharing a pattern
+	// hyperedge with order[i].
+	coMapped [][]uint32
+	// edgeRemaining[e] counts unmapped vertices of pattern edge e;
+	// edgesOf[u] lists pattern edges containing vertex u.
+	edgeRemaining []int
+	edgesOf       [][]int
+
+	mapping []uint32 // pattern vertex → data vertex
+	used    map[uint32]bool
+	setKey  map[string]bool // data hyperedge vertex-set index
+	count   uint64
+	keyBuf  []byte
+}
+
+func newMatcher(h *hypergraph.Hypergraph, p *pattern.Pattern) *matcher {
+	m := &matcher{
+		h:             h,
+		p:             p,
+		mapping:       make([]uint32, p.NumVertices()),
+		used:          make(map[uint32]bool, p.NumVertices()),
+		edgeRemaining: make([]int, p.NumEdges()),
+		edgesOf:       make([][]int, p.NumVertices()),
+		setKey:        make(map[string]bool, h.NumEdges()),
+	}
+	for e := 0; e < p.NumEdges(); e++ {
+		m.edgeRemaining[e] = p.Degree(e)
+		for _, u := range p.Edge(e) {
+			m.edgesOf[u] = append(m.edgesOf[u], e)
+		}
+	}
+	for e := 0; e < h.NumEdges(); e++ {
+		m.setKey[key(h.EdgeVertices(uint32(e)), &m.keyBuf)] = true
+	}
+	m.buildOrder()
+	return m
+}
+
+// buildOrder produces a vertex order where each vertex (after the first)
+// shares a pattern hyperedge with an earlier one, maximizing constraint
+// propagation.
+func (m *matcher) buildOrder() {
+	p := m.p
+	n := p.NumVertices()
+	adjacent := make([]map[uint32]bool, n)
+	for e := 0; e < p.NumEdges(); e++ {
+		verts := p.Edge(e)
+		for i, u := range verts {
+			if adjacent[u] == nil {
+				adjacent[u] = map[uint32]bool{}
+			}
+			for j, v := range verts {
+				if i != j {
+					adjacent[u][v] = true
+				}
+			}
+		}
+	}
+	inOrder := make([]bool, n)
+	// Start from the vertex with most pattern neighbors.
+	best := uint32(0)
+	for u := 1; u < n; u++ {
+		if len(adjacent[u]) > len(adjacent[best]) {
+			best = uint32(u)
+		}
+	}
+	m.order = append(m.order, best)
+	inOrder[best] = true
+	for len(m.order) < n {
+		bestIdx, bestConn := -1, -1
+		for u := 0; u < n; u++ {
+			if inOrder[u] {
+				continue
+			}
+			c := 0
+			for v := range adjacent[u] {
+				if inOrder[v] {
+					c++
+				}
+			}
+			if c > bestConn {
+				bestIdx, bestConn = u, c
+			}
+		}
+		m.order = append(m.order, uint32(bestIdx))
+		inOrder[bestIdx] = true
+	}
+	m.coMapped = make([][]uint32, n)
+	for i, u := range m.order {
+		for _, v := range m.order[:i] {
+			if adjacent[u][v] {
+				m.coMapped[i] = append(m.coMapped[i], v)
+			}
+		}
+	}
+}
+
+// rec extends the vertex mapping at order position i.
+func (m *matcher) rec(i int) {
+	if i == len(m.order) {
+		m.count++
+		return
+	}
+	u := m.order[i]
+	for _, cand := range m.candidates(i) {
+		if m.used[cand] {
+			continue
+		}
+		if m.p.Labeled() && m.h.Labeled() && m.h.Label(cand) != m.p.Label(u) {
+			continue
+		}
+		if m.h.VertexDegree(cand) < len(m.edgesOf[u]) {
+			continue
+		}
+		m.mapping[u] = cand
+		m.used[cand] = true
+		if m.completeEdgesOK(u) {
+			m.rec(i + 1)
+			m.restore(u)
+		}
+		delete(m.used, cand)
+	}
+}
+
+// candidates lists data vertices for order position i: any vertex sharing a
+// data hyperedge with a mapped co-vertex (the first position scans all
+// vertices — the unpruned fan-out that makes this approach expensive).
+func (m *matcher) candidates(i int) []uint32 {
+	if len(m.coMapped[i]) == 0 {
+		all := make([]uint32, m.h.NumVertices())
+		for v := range all {
+			all[v] = uint32(v)
+		}
+		return all
+	}
+	// Union of neighbors of one mapped co-vertex (the cheapest filter;
+	// remaining constraints are validated by completeEdgesOK).
+	anchor := m.mapping[m.coMapped[i][0]]
+	seen := map[uint32]bool{}
+	var out []uint32
+	for _, e := range m.h.VertexEdges(anchor) {
+		for _, v := range m.h.EdgeVertices(e) {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// completeEdgesOK decrements the remaining-vertex counters of u's pattern
+// edges and validates every pattern hyperedge that just became fully
+// mapped: its image must be an existing data hyperedge. Counters are
+// restored before returning false or after recursion via defer-less manual
+// bookkeeping in rec (the increment happens below on unwind).
+func (m *matcher) completeEdgesOK(u uint32) bool {
+	ok := true
+	for _, e := range m.edgesOf[u] {
+		m.edgeRemaining[e]--
+		if m.edgeRemaining[e] == 0 && ok {
+			if !m.edgeExists(e) {
+				ok = false
+			}
+		}
+	}
+	if !ok {
+		m.restore(u)
+		return false
+	}
+	return true
+}
+
+func (m *matcher) restore(u uint32) {
+	for _, e := range m.edgesOf[u] {
+		m.edgeRemaining[e]++
+	}
+}
+
+// edgeExists checks whether the mapped image of pattern edge e is a data
+// hyperedge.
+func (m *matcher) edgeExists(e int) bool {
+	verts := m.p.Edge(e)
+	img := make([]uint32, len(verts))
+	for i, u := range verts {
+		img[i] = m.mapping[u]
+	}
+	sort.Slice(img, func(a, b int) bool { return img[a] < img[b] })
+	for i := 1; i < len(img); i++ {
+		if img[i] == img[i-1] {
+			return false
+		}
+	}
+	return m.setKey[key(img, &m.keyBuf)]
+}
+
+func key(verts []uint32, buf *[]byte) string {
+	b := (*buf)[:0]
+	for _, v := range verts {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	*buf = b
+	return string(b)
+}
+
+// regionFactorialProduct computes Π over (Venn region × label) vertex
+// groups of (groupSize)! — the number of vertex bijections per ordered
+// hyperedge tuple. Vertices sharing a profile (and label, when labeled)
+// are interchangeable; distinct groups are not.
+func regionFactorialProduct(p *pattern.Pattern) uint64 {
+	counts := map[uint64]int{}
+	profile := make(map[uint32]uint64, p.NumVertices())
+	for e := 0; e < p.NumEdges(); e++ {
+		for _, u := range p.Edge(e) {
+			profile[u] |= 1 << uint(e)
+		}
+	}
+	for u, mask := range profile {
+		k := mask
+		if p.Labeled() {
+			k |= uint64(p.Label(u)) << 32
+		}
+		counts[k]++
+	}
+	prod := uint64(1)
+	for _, c := range counts {
+		prod *= factorial(c)
+	}
+	return prod
+}
+
+func factorial(n int) uint64 {
+	f := uint64(1)
+	for i := 2; i <= n; i++ {
+		f *= uint64(i)
+	}
+	return f
+}

@@ -1,0 +1,150 @@
+package mbv
+
+import (
+	"math/rand"
+	"testing"
+
+	"ohminer/internal/bruteforce"
+	"ohminer/internal/hypergraph"
+	"ohminer/internal/pattern"
+)
+
+func TestMineFig1(t *testing.T) {
+	h := hypergraph.MustBuild(15, [][]uint32{
+		{0, 1, 2, 3, 4, 5},
+		{3, 4, 5, 6, 7, 8},
+		{3, 4, 5, 6, 7, 9, 10, 11},
+		{0, 1, 2, 9, 12, 13},
+		{1, 3, 4, 5, 6, 7, 8, 14},
+	}, nil)
+	p := pattern.MustNew([][]uint32{
+		{0, 1, 2, 3, 4, 5},
+		{3, 4, 5, 6, 7, 8},
+		{3, 4, 5, 6, 7, 9, 10, 11},
+	}, nil)
+	res, err := Mine(h, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ordered != 1 {
+		t.Fatalf("Ordered=%d want 1", res.Ordered)
+	}
+	// The single embedding admits 3!·3!·1!·2!·3! vertex bijections
+	// (regions: R_A=3, R_B=3, R_C=1, pairwise {B,C}... per Fig. 1 regions).
+	if res.VertexMappings%res.Ordered != 0 || res.VertexMappings <= res.Ordered {
+		t.Fatalf("VertexMappings=%d", res.VertexMappings)
+	}
+}
+
+// TestDifferentialAgainstBruteForce: the match-by-vertex count converts to
+// the same ordered hyperedge-tuple count as the reference enumerator.
+func TestDifferentialAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		nv := 8 + rng.Intn(10)
+		ne := 6 + rng.Intn(12)
+		edges := make([][]uint32, ne)
+		for i := range edges {
+			sz := 2 + rng.Intn(3)
+			for j := 0; j < sz; j++ {
+				edges[i] = append(edges[i], uint32(rng.Intn(nv)))
+			}
+		}
+		h, err := hypergraph.Build(nv, edges, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := pattern.Sample(h, 2, 2, 8, rng)
+		if err != nil {
+			continue
+		}
+		want := bruteforce.Count(h, p)
+		res, err := Mine(h, p)
+		if err != nil {
+			t.Fatalf("trial %d: %v (pattern %s)", trial, err, p)
+		}
+		if res.Ordered != want {
+			t.Fatalf("trial %d: Ordered=%d want %d (mappings %d, pattern %s)",
+				trial, res.Ordered, want, res.VertexMappings, p)
+		}
+	}
+}
+
+func TestDifferentialLabeled(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 10; trial++ {
+		nv := 8 + rng.Intn(8)
+		ne := 6 + rng.Intn(10)
+		edges := make([][]uint32, ne)
+		labels := make([]uint32, nv)
+		for i := range edges {
+			sz := 2 + rng.Intn(3)
+			for j := 0; j < sz; j++ {
+				edges[i] = append(edges[i], uint32(rng.Intn(nv)))
+			}
+		}
+		for v := range labels {
+			labels[v] = uint32(rng.Intn(2))
+		}
+		h, err := hypergraph.Build(nv, edges, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := pattern.Sample(h, 2, 2, 8, rng)
+		if err != nil {
+			continue
+		}
+		want := bruteforce.Count(h, p)
+		res, err := Mine(h, p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Ordered != want {
+			t.Fatalf("trial %d labeled: Ordered=%d want %d", trial, res.Ordered, want)
+		}
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	h := hypergraph.MustBuild(3, [][]uint32{{0, 1}, {1, 2}}, nil)
+	lp := pattern.MustNew([][]uint32{{0, 1}, {1, 2}}, []uint32{0, 0, 1})
+	if _, err := Mine(h, lp); err == nil {
+		t.Error("labeled pattern on unlabeled hypergraph accepted")
+	}
+	elp, err := pattern.NewEdgeLabeled([][]uint32{{0, 1}, {1, 2}}, nil, []uint32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Mine(h, elp); err == nil {
+		t.Error("edge-labeled pattern accepted")
+	}
+}
+
+// TestSearchSpaceBlowup documents the approach's weakness quantitatively:
+// the vertex-mapping space exceeds the hyperedge-tuple space by the region
+// factorial product, which grows with hyperedge sizes.
+func TestSearchSpaceBlowup(t *testing.T) {
+	h := hypergraph.MustBuild(12, [][]uint32{
+		{0, 1, 2, 3, 4, 5},
+		{4, 5, 6, 7, 8, 9},
+		{8, 9, 10, 11, 0, 1},
+	}, nil)
+	p := pattern.MustNew([][]uint32{{0, 1, 2, 3, 4, 5}, {4, 5, 6, 7, 8, 9}}, nil)
+	res, err := Mine(h, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ordered == 0 {
+		t.Fatal("no embeddings")
+	}
+	ratio := res.VertexMappings / res.Ordered
+	// Regions of the pattern: 4,4,2 vertices → 4!·4!·2! = 1152 mappings per
+	// tuple.
+	if ratio != 1152 {
+		t.Fatalf("mappings per tuple = %d want 1152", ratio)
+	}
+}

@@ -1,0 +1,402 @@
+package oig
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"time"
+
+	"ohminer/internal/pattern"
+	"ohminer/internal/sig"
+)
+
+// Mode selects how aggressively the compiler eliminates redundant overlap
+// computations.
+type Mode int
+
+const (
+	// ModeSimple checks every non-implied hyperedge subset with its own
+	// intersection + size comparison. It embodies the IEP optimization alone
+	// (set intersections instead of set differences and vertex profiles) —
+	// the OHM-I ablation of Sec. 5.3.
+	ModeSimple Mode = iota
+	// ModeMerged additionally applies the OIG merge optimization: subsets
+	// whose pattern overlap is the same vertex set form a class; only the
+	// ⊆-minimal subsets are computed (the first with a size check, the
+	// others with set-equality checks against the class representative),
+	// plus subset-completion checks for hyperedges the minimal subsets do
+	// not cover. All other subsets are implied — full OHMiner.
+	ModeMerged
+)
+
+func (m Mode) String() string {
+	if m == ModeMerged {
+		return "merged"
+	}
+	return "simple"
+}
+
+// OpKind enumerates validation operations.
+type OpKind int
+
+const (
+	// OpIntersect computes Out = A ∩ B and requires |Out| == Want (and the
+	// label histogram to match LabelWant for labeled patterns).
+	OpIntersect OpKind = iota
+	// OpIntersectEq computes Out = A ∩ B and requires Out to equal the set
+	// held by Eq (the class representative).
+	OpIntersectEq
+	// OpEmptyCheck requires A ∩ B == ∅ (early-exit probe; minimal empty
+	// overlap of ≥3 hyperedges — pairs are handled by generation-time
+	// disconnection checks).
+	OpEmptyCheck
+	// OpSubsetCheck requires the set held by A to be a subset of the set
+	// held by B (class-union completion, e.g. a pattern hyperedge nested in
+	// another).
+	OpSubsetCheck
+	// OpEqCheck requires the sets held by A and Eq to be equal without
+	// computing an intersection (a pattern hyperedge whose vertex set
+	// coincides with an overlap).
+	OpEqCheck
+)
+
+var opNames = [...]string{"intersect", "intersect-eq", "empty", "subset", "eq"}
+
+func (k OpKind) String() string { return opNames[k] }
+
+// Operand names a set available during matching: either the candidate
+// hyperedge bound at position Pos of the matching order, or a previously
+// computed overlap buffer slot.
+type Operand struct {
+	Edge bool
+	Pos  int // matching-order position (Edge) or slot index (!Edge)
+}
+
+func (o Operand) String() string {
+	if o.Edge {
+		return fmt.Sprintf("c%d", o.Pos)
+	}
+	return fmt.Sprintf("s%d", o.Pos)
+}
+
+// Op is one validation operation of the execution plan.
+type Op struct {
+	Kind OpKind
+	A, B Operand
+	Eq   Operand // OpIntersectEq / OpEqCheck comparison target
+	Out  int     // destination slot (OpIntersect / OpIntersectEq); -1 otherwise
+	Want int     // expected overlap size (OpIntersect)
+	// Mask is the hyperedge subset this operation validates (diagnostics).
+	Mask uint32
+	// LabelWant is the expected label histogram of the overlap, set for
+	// OpIntersect on labeled patterns.
+	LabelWant []sig.LabelCount
+}
+
+// Step drives the matching of one pattern hyperedge: candidate generation
+// constraints followed by the overlap validations that become ready once
+// this hyperedge is bound.
+type Step struct {
+	// Degree is the required candidate hyperedge degree D(pe_t).
+	Degree int
+	// Conn lists earlier positions whose candidate must overlap the new
+	// candidate (generation intersects their degree-pruned adjacency).
+	Conn []int
+	// Disc lists earlier positions whose candidate must NOT overlap the new
+	// candidate (generation-time disconnection check via the DAL).
+	Disc []int
+	// EdgeLabels is the label histogram of pe_t (labeled patterns only).
+	EdgeLabels []sig.LabelCount
+	// EdgeLabel is the hyperedge label of pe_t (hyperedge-labeled patterns
+	// only; -1 otherwise). Candidates must carry the same label.
+	EdgeLabel int64
+	// Ops are the validation operations, ordered by (popcount, mask).
+	Ops []Op
+}
+
+// Plan is the overlap-centric execution plan (Definition 2).
+type Plan struct {
+	// Pattern is the pattern with hyperedges permuted into matching order;
+	// position t of the plan matches Pattern.Edge(t).
+	Pattern *pattern.Pattern
+	// Order maps matching-order positions to the original hyperedge indices.
+	Order []int
+	Steps []Step
+	// NumSlots is the number of overlap buffers a worker must hold.
+	NumSlots int
+	Mode     Mode
+	Labeled  bool
+	// Sig is the reordered pattern's overlap signature.
+	Sig sig.Signature
+	// LabelSig is set for labeled patterns.
+	LabelSig sig.LabelSignature
+	// ProfileCounts[t] is the pattern's vertex-profile multiset for the
+	// prefix 0..t — key = profileMask | label<<32 — used by the
+	// HGMatch-style profile validator.
+	ProfileCounts []map[uint64]int
+	// Graph is the pattern's OIG (diagnostics, Table 6 accounting).
+	Graph *Graph
+	// CompileTime is the wall-clock compilation duration (OIG-T, Table 6).
+	CompileTime time.Duration
+}
+
+// Compile analyzes the pattern and produces its execution plan. The pattern
+// is reordered by its matching order internally.
+func Compile(p *pattern.Pattern, mode Mode) (*Plan, error) {
+	return CompileOrdered(p, mode, p.MatchingOrder())
+}
+
+// CompileOrdered compiles with an explicit matching order (order[i] = index
+// of the pattern hyperedge matched at step i) — used for data-aware
+// orderings built from hypergraph selectivity features.
+func CompileOrdered(p *pattern.Pattern, mode Mode, order []int) (*Plan, error) {
+	start := time.Now()
+	rp, err := p.Reorder(order)
+	if err != nil {
+		return nil, fmt.Errorf("oig: reorder: %w", err)
+	}
+	m := rp.NumEdges()
+	s := rp.Signature()
+
+	plan := &Plan{
+		Pattern: rp,
+		Order:   order,
+		Steps:   make([]Step, m),
+		Mode:    mode,
+		Labeled: rp.Labeled(),
+		Sig:     s,
+		Graph:   BuildGraph(rp.Edges()),
+	}
+	if plan.Labeled {
+		ls, err := rp.LabelSignature()
+		if err != nil {
+			return nil, err
+		}
+		plan.LabelSig = ls
+	}
+	plan.buildProfileCounts()
+
+	// Generation constraints per step.
+	for t := 0; t < m; t++ {
+		st := &plan.Steps[t]
+		st.Degree = rp.Degree(t)
+		st.EdgeLabel = -1
+		if rp.EdgeLabeled() {
+			st.EdgeLabel = int64(rp.EdgeLabel(t))
+		}
+		if plan.Labeled {
+			st.EdgeLabels = plan.LabelSig.Counts[1<<t]
+		}
+		for j := 0; j < t; j++ {
+			if s.Size(uint32(1<<j|1<<t)) > 0 {
+				st.Conn = append(st.Conn, j)
+			} else {
+				st.Disc = append(st.Disc, j)
+			}
+		}
+	}
+
+	switch mode {
+	case ModeSimple:
+		plan.compileSimple()
+	case ModeMerged:
+		if err := plan.compileMerged(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("oig: unknown mode %d", mode)
+	}
+	plan.CompileTime = time.Since(start)
+	return plan, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(p *pattern.Pattern, mode Mode) *Plan {
+	pl, err := Compile(p, mode)
+	if err != nil {
+		panic(err)
+	}
+	return pl
+}
+
+// maxBit returns the highest set bit index — the matching-order step at
+// which the subset becomes computable.
+func maxBit(mask uint32) int { return bits.Len32(mask) - 1 }
+
+// impliedZero reports whether some proper subset of mask with ≥2 hyperedges
+// has an empty pattern overlap; if so the emptiness of mask's overlap is
+// implied by that subset's own check (the group-based pruning of
+// Sec. 4.3.2).
+func (p *Plan) impliedZero(mask uint32) bool {
+	for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+		if bits.OnesCount32(sub) >= 2 && p.Sig.Size(sub) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// labelWant returns the expected label histogram of the overlap for labeled
+// patterns (nil for unlabeled).
+func (p *Plan) labelWant(mask uint32) []sig.LabelCount {
+	if !p.Labeled {
+		return nil
+	}
+	return p.LabelSig.Counts[mask]
+}
+
+// chooseB picks the cheapest already-available operand whose subset contains
+// position t and is strictly inside mask: the pair/overlap with the smallest
+// pattern overlap wins (shorter buffer ⇒ cheaper intersection); the bound
+// candidate hyperedge c_t is the fallback.
+func (p *Plan) chooseB(mask uint32, t int, bufOf func(uint32) (Operand, bool)) Operand {
+	best := Operand{Edge: true, Pos: t}
+	bestSize := p.Sig.Size(1 << t)
+	for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+		if sub&(1<<t) == 0 || bits.OnesCount32(sub) < 2 {
+			continue
+		}
+		sz := p.Sig.Size(sub)
+		if sz == 0 || sz >= bestSize {
+			continue
+		}
+		if op, ok := bufOf(sub); ok {
+			best, bestSize = op, sz
+		}
+	}
+	return best
+}
+
+// compileSimple emits one OpIntersect per non-implied non-empty subset and
+// one OpEmptyCheck per minimal empty subset (≥3 edges); every subset owns a
+// slot.
+func (p *Plan) compileSimple() {
+	m := p.Sig.M
+	slotOf := map[uint32]int{}
+	bufOf := func(mask uint32) (Operand, bool) {
+		if bits.OnesCount32(mask) == 1 {
+			return Operand{Edge: true, Pos: maxBit(mask)}, true
+		}
+		s, ok := slotOf[mask]
+		return Operand{Pos: s}, ok
+	}
+	for _, mask := range masksByStep(m) {
+		pc := bits.OnesCount32(mask)
+		if pc < 2 {
+			continue
+		}
+		t := maxBit(mask)
+		rest := mask &^ (1 << t)
+		if p.Sig.Size(mask) == 0 {
+			if pc == 2 || p.impliedZero(mask) {
+				continue // pair → generation Disc; deeper → implied
+			}
+			a, _ := bufOf(rest)
+			p.Steps[t].Ops = append(p.Steps[t].Ops, Op{
+				Kind: OpEmptyCheck, A: a, B: Operand{Edge: true, Pos: t}, Out: -1, Mask: mask,
+			})
+			continue
+		}
+		a, _ := bufOf(rest)
+		b := p.chooseB(mask, t, bufOf)
+		out := p.NumSlots
+		p.NumSlots++
+		slotOf[mask] = out
+		p.Steps[t].Ops = append(p.Steps[t].Ops, Op{
+			Kind: OpIntersect, A: a, B: b, Out: out,
+			Want: p.Sig.Size(mask), Mask: mask, LabelWant: p.labelWant(mask),
+		})
+	}
+}
+
+// masksByStep enumerates all masks ordered by (maxBit, popcount, value) —
+// the order in which subsets become ready during matching.
+func masksByStep(m int) []uint32 {
+	var out []uint32
+	for t := 0; t < m; t++ {
+		lo := uint32(1) << t
+		var stepMasks []uint32
+		for mask := lo; mask < lo<<1; mask++ {
+			if mask&lo != 0 {
+				stepMasks = append(stepMasks, mask)
+			}
+		}
+		// Sort by (popcount, value).
+		for i := 1; i < len(stepMasks); i++ {
+			x := stepMasks[i]
+			j := i - 1
+			for j >= 0 && less(x, stepMasks[j]) {
+				stepMasks[j+1] = stepMasks[j]
+				j--
+			}
+			stepMasks[j+1] = x
+		}
+		out = append(out, stepMasks...)
+	}
+	return out
+}
+
+func less(a, b uint32) bool {
+	pa, pb := bits.OnesCount32(a), bits.OnesCount32(b)
+	if pa != pb {
+		return pa < pb
+	}
+	return a < b
+}
+
+// String renders the plan in the style of Table 1.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan(mode=%s, order=%v, slots=%d)\n", p.Mode, p.Order, p.NumSlots)
+	for t, st := range p.Steps {
+		fmt.Fprintf(&b, "step %d: gen degree=%d conn=%v disc=%v\n", t, st.Degree, st.Conn, st.Disc)
+		for _, op := range st.Ops {
+			switch op.Kind {
+			case OpIntersect:
+				fmt.Fprintf(&b, "  s%d ← %s ∩ %s, |·|=%d  (mask %b)\n", op.Out, op.A, op.B, op.Want, op.Mask)
+			case OpIntersectEq:
+				fmt.Fprintf(&b, "  s%d ← %s ∩ %s, == %s  (mask %b)\n", op.Out, op.A, op.B, op.Eq, op.Mask)
+			case OpEmptyCheck:
+				fmt.Fprintf(&b, "  %s ∩ %s == ∅  (mask %b)\n", op.A, op.B, op.Mask)
+			case OpSubsetCheck:
+				fmt.Fprintf(&b, "  %s ⊆ %s  (mask %b)\n", op.A, op.B, op.Mask)
+			case OpEqCheck:
+				fmt.Fprintf(&b, "  %s == %s  (mask %b)\n", op.A, op.Eq, op.Mask)
+			}
+		}
+	}
+	return b.String()
+}
+
+// NumOps counts validation operations by kind.
+func (p *Plan) NumOps() map[OpKind]int {
+	out := map[OpKind]int{}
+	for _, st := range p.Steps {
+		for _, op := range st.Ops {
+			out[op.Kind]++
+		}
+	}
+	return out
+}
+
+// buildProfileCounts precomputes, for every prefix length, the multiset of
+// vertex profiles of the reordered pattern (HGMatch's validation target).
+func (p *Plan) buildProfileCounts() {
+	m := p.Pattern.NumEdges()
+	p.ProfileCounts = make([]map[uint64]int, m)
+	profiles := make(map[uint32]uint32, p.Pattern.NumVertices())
+	for t := 0; t < m; t++ {
+		for _, v := range p.Pattern.Edge(t) {
+			profiles[v] |= 1 << uint(t)
+		}
+		counts := make(map[uint64]int, len(profiles))
+		for v, mask := range profiles {
+			key := uint64(mask)
+			if p.Labeled {
+				key |= uint64(p.Pattern.Label(v)) << 32
+			}
+			counts[key]++
+		}
+		p.ProfileCounts[t] = counts
+	}
+}

@@ -1,0 +1,155 @@
+package oig
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Verify checks the structural invariants of a compiled plan and returns
+// the first violation found. A valid plan guarantees the engine's
+// interpreter cannot read unbound candidates or unwritten slots, and that
+// the plan's checks collectively cover the pattern's overlap signature:
+//
+//  1. step metadata matches the reordered pattern (degree, conn/disc
+//     partition of earlier positions according to the signature);
+//  2. every operand references a position ≤ its step or a slot written by
+//     an earlier operation;
+//  3. every non-implied subset of hyperedges is accounted for: non-empty
+//     subsets by an intersection/equality check or class membership, empty
+//     pairs by generation-time disconnection, minimal empty subsets by an
+//     emptiness check.
+//
+// cmd tools run Verify after compilation; the test suite runs it across
+// randomized patterns for both modes.
+func Verify(p *Plan) error {
+	m := p.Pattern.NumEdges()
+	if len(p.Steps) != m {
+		return fmt.Errorf("oig: %d steps for %d hyperedges", len(p.Steps), m)
+	}
+
+	written := make([]bool, p.NumSlots)
+	opByMask := map[uint32]bool{}
+	resolvable := func(o Operand, step int) error {
+		if o.Edge {
+			if o.Pos < 0 || o.Pos > step {
+				return fmt.Errorf("edge operand c%d at step %d", o.Pos, step)
+			}
+			return nil
+		}
+		if o.Pos < 0 || o.Pos >= p.NumSlots {
+			return fmt.Errorf("slot operand s%d out of range %d", o.Pos, p.NumSlots)
+		}
+		if !written[o.Pos] {
+			return fmt.Errorf("slot operand s%d read before write", o.Pos)
+		}
+		return nil
+	}
+
+	for t := 0; t < m; t++ {
+		st := &p.Steps[t]
+		if st.Degree != p.Pattern.Degree(t) {
+			return fmt.Errorf("oig: step %d degree %d != pattern %d", t, st.Degree, p.Pattern.Degree(t))
+		}
+		seen := map[int]bool{}
+		for _, j := range st.Conn {
+			if j < 0 || j >= t || seen[j] {
+				return fmt.Errorf("oig: step %d conn %v", t, st.Conn)
+			}
+			seen[j] = true
+			if p.Sig.Size(uint32(1<<j|1<<t)) == 0 {
+				return fmt.Errorf("oig: step %d lists %d as connected but pair overlap is empty", t, j)
+			}
+		}
+		for _, j := range st.Disc {
+			if j < 0 || j >= t || seen[j] {
+				return fmt.Errorf("oig: step %d disc %v", t, st.Disc)
+			}
+			seen[j] = true
+			if p.Sig.Size(uint32(1<<j|1<<t)) != 0 {
+				return fmt.Errorf("oig: step %d lists %d as disconnected but pair overlap is non-empty", t, j)
+			}
+		}
+		if len(seen) != t {
+			return fmt.Errorf("oig: step %d covers %d of %d earlier positions", t, len(seen), t)
+		}
+		for i, op := range st.Ops {
+			if err := resolvable(op.A, t); err != nil {
+				return fmt.Errorf("oig: step %d op %d (%s): A: %v", t, i, op.Kind, err)
+			}
+			switch op.Kind {
+			case OpIntersect, OpIntersectEq, OpEmptyCheck, OpSubsetCheck:
+				if err := resolvable(op.B, t); err != nil {
+					return fmt.Errorf("oig: step %d op %d (%s): B: %v", t, i, op.Kind, err)
+				}
+			}
+			switch op.Kind {
+			case OpIntersectEq, OpEqCheck:
+				if err := resolvable(op.Eq, t); err != nil {
+					return fmt.Errorf("oig: step %d op %d (%s): Eq: %v", t, i, op.Kind, err)
+				}
+			}
+			switch op.Kind {
+			case OpIntersect, OpIntersectEq:
+				if op.Out < 0 || op.Out >= p.NumSlots {
+					return fmt.Errorf("oig: step %d op %d: out slot %d", t, i, op.Out)
+				}
+				written[op.Out] = true
+				if op.Kind == OpIntersect && op.Want != p.Sig.Size(op.Mask) {
+					return fmt.Errorf("oig: step %d op %d: want %d != sig %d for mask %b",
+						t, i, op.Want, p.Sig.Size(op.Mask), op.Mask)
+				}
+			}
+			opByMask[op.Mask] = true
+		}
+	}
+
+	// Coverage: walk every subset and demand it is checked or implied.
+	return p.verifyCoverage(opByMask)
+}
+
+// verifyCoverage checks requirement 3: each subset's constraint is either
+// directly checked, generation-implied, or class/zero-implied.
+func (p *Plan) verifyCoverage(opByMask map[uint32]bool) error {
+	m := p.Sig.M
+	for mask := uint32(3); mask < 1<<m; mask++ {
+		pc := bits.OnesCount32(mask)
+		if pc < 2 {
+			continue
+		}
+		if p.Sig.Size(mask) == 0 {
+			if pc == 2 {
+				continue // generation disconnection check
+			}
+			if p.impliedZero(mask) || opByMask[mask] {
+				continue
+			}
+			return fmt.Errorf("oig: minimal empty subset %b has no emptiness check", mask)
+		}
+		if opByMask[mask] {
+			continue
+		}
+		if p.Mode == ModeSimple {
+			return fmt.Errorf("oig: simple plan misses non-empty subset %b", mask)
+		}
+		// Merged mode: the subset must be implied by its class — there must
+		// exist a checked subset with the same pattern overlap size whose
+		// union with mask stays inside the class (witnessed by a checked
+		// subset of mask with equal overlap size). A subset S is implied iff
+		// some checked (or single-edge) S' ⊆ S has sig[S'] == sig[S]: then
+		// ∩S = ∩S' once the class equalities hold.
+		implied := false
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			if p.Sig.Size(sub) != p.Sig.Size(mask) {
+				continue
+			}
+			if bits.OnesCount32(sub) == 1 || opByMask[sub] {
+				implied = true
+				break
+			}
+		}
+		if !implied {
+			return fmt.Errorf("oig: merged plan misses subset %b without class witness", mask)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package oig
+
+import (
+	"math/rand"
+	"testing"
+
+	"ohminer/internal/gen"
+	"ohminer/internal/pattern"
+)
+
+func TestVerifyAcceptsCompiledPlans(t *testing.T) {
+	h := gen.MustGenerate(gen.Config{Name: "t", NumVertices: 150, NumEdges: 600,
+		Communities: 8, MemberOverlap: 1.3, EdgeSizeMin: 3, EdgeSizeMax: 10, EdgeSizeMean: 6, Seed: 51})
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 80; trial++ {
+		m := 2 + rng.Intn(5)
+		p, err := pattern.Sample(h, m, 2, 50, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Mode{ModeSimple, ModeMerged} {
+			plan := MustCompile(p, mode)
+			if err := Verify(plan); err != nil {
+				t.Fatalf("trial %d mode %s: %v\npattern %s\n%s", trial, mode, err, p, plan)
+			}
+		}
+	}
+}
+
+func TestVerifyAcceptsSpecialShapes(t *testing.T) {
+	cases := []string{
+		"0 1 2",         // single edge
+		"0 1 2 3; 1 2",  // nested edge
+		"0 1; 1 2; 0 2", // triangle with empty triple
+		"0 1; 1 2; 2 3", // path with disconnection
+		"0 1 2 3 4 5; 3 4 5 6 7 8; 3 4 5 6 7 9 10 11", // Fig. 1
+	}
+	for _, s := range cases {
+		p, err := pattern.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Mode{ModeSimple, ModeMerged} {
+			if err := Verify(MustCompile(p, mode)); err != nil {
+				t.Errorf("%q mode %s: %v", s, mode, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsCorruptedPlans(t *testing.T) {
+	p := pattern.MustNew([][]uint32{
+		{0, 1, 2, 3, 4, 5},
+		{3, 4, 5, 6, 7, 8},
+		{3, 4, 5, 6, 7, 9, 10, 11},
+	}, nil)
+
+	corruptions := []func(*Plan){
+		func(pl *Plan) { pl.Steps[1].Degree++ },
+		func(pl *Plan) { pl.Steps[2].Conn = pl.Steps[2].Conn[:1] },
+		func(pl *Plan) { pl.Steps[2].Disc = append(pl.Steps[2].Disc, 0) },
+		func(pl *Plan) {
+			for s := range pl.Steps {
+				for i := range pl.Steps[s].Ops {
+					if pl.Steps[s].Ops[i].Kind == OpIntersect {
+						pl.Steps[s].Ops[i].Want++
+						return
+					}
+				}
+			}
+		},
+		func(pl *Plan) {
+			for s := range pl.Steps {
+				if len(pl.Steps[s].Ops) > 0 {
+					pl.Steps[s].Ops[0].A = Operand{Edge: true, Pos: s + 1}
+					return
+				}
+			}
+		},
+		func(pl *Plan) {
+			// Drop every op: coverage must fail.
+			for s := range pl.Steps {
+				pl.Steps[s].Ops = nil
+			}
+		},
+	}
+	for i, corrupt := range corruptions {
+		plan := MustCompile(p, ModeMerged)
+		corrupt(plan)
+		if err := Verify(plan); err == nil {
+			t.Errorf("corruption %d passed verification", i)
+		}
+	}
+}

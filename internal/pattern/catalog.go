@@ -1,0 +1,113 @@
+package pattern
+
+import "fmt"
+
+// Parametric pattern families. These are the recurring query shapes of the
+// HPM literature (chains of collaborations, star co-memberships, cliques of
+// mutually overlapping groups) as ready-made constructors, so applications
+// don't hand-write vertex lists for standard queries.
+
+// Chain returns k hyperedges of the given size where consecutive hyperedges
+// share exactly `overlap` vertices and non-consecutive ones are disjoint.
+func Chain(k, size, overlap int) (*Pattern, error) {
+	if k < 1 || size < 1 || overlap < 0 || overlap >= size {
+		return nil, fmt.Errorf("pattern: invalid chain(k=%d, size=%d, overlap=%d)", k, size, overlap)
+	}
+	if k > 1 && overlap == 0 {
+		return nil, fmt.Errorf("pattern: chain with overlap 0 is disconnected")
+	}
+	edges := make([][]uint32, k)
+	next := uint32(0)
+	var prevTail []uint32
+	for i := 0; i < k; i++ {
+		e := append([]uint32(nil), prevTail...)
+		for len(e) < size {
+			e = append(e, next)
+			next++
+		}
+		edges[i] = e
+		prevTail = append([]uint32(nil), e[len(e)-overlap:]...)
+	}
+	return New(edges, nil)
+}
+
+// Star returns k leaf hyperedges of the given size that all share the same
+// `core` vertices and are otherwise disjoint (the "ego" query: everything
+// touching one group).
+func Star(k, size, core int) (*Pattern, error) {
+	if k < 1 || size < 1 || core < 1 || core > size {
+		return nil, fmt.Errorf("pattern: invalid star(k=%d, size=%d, core=%d)", k, size, core)
+	}
+	if k > 1 && core == size {
+		return nil, fmt.Errorf("pattern: star leaves would be identical hyperedges")
+	}
+	coreVerts := make([]uint32, core)
+	for i := range coreVerts {
+		coreVerts[i] = uint32(i)
+	}
+	next := uint32(core)
+	edges := make([][]uint32, k)
+	for i := 0; i < k; i++ {
+		e := append([]uint32(nil), coreVerts...)
+		for len(e) < size {
+			e = append(e, next)
+			next++
+		}
+		edges[i] = e
+	}
+	return New(edges, nil)
+}
+
+// Cycle returns k ≥ 3 hyperedges of the given size arranged in a ring:
+// hyperedge i shares `overlap` vertices with hyperedge (i+1) mod k and is
+// disjoint from the rest.
+func Cycle(k, size, overlap int) (*Pattern, error) {
+	if k < 3 || overlap < 1 || size < 2*overlap {
+		return nil, fmt.Errorf("pattern: invalid cycle(k=%d, size=%d, overlap=%d): need k≥3 and size≥2·overlap", k, size, overlap)
+	}
+	// Shared blocks s_0..s_{k-1}; hyperedge i = s_i ∪ s_{i+1 mod k} ∪ own.
+	shared := make([][]uint32, k)
+	next := uint32(0)
+	for i := range shared {
+		for j := 0; j < overlap; j++ {
+			shared[i] = append(shared[i], next)
+			next++
+		}
+	}
+	edges := make([][]uint32, k)
+	for i := 0; i < k; i++ {
+		e := append([]uint32(nil), shared[i]...)
+		e = append(e, shared[(i+1)%k]...)
+		for len(e) < size {
+			e = append(e, next)
+			next++
+		}
+		edges[i] = e
+	}
+	return New(edges, nil)
+}
+
+// Nested returns a tower of k hyperedges where each is a strict subset of
+// the previous: sizes size, size-step, size-2·step, ….
+func Nested(k, size, step int) (*Pattern, error) {
+	if k < 1 || step < 1 || size-(k-1)*step < 1 {
+		return nil, fmt.Errorf("pattern: invalid nested(k=%d, size=%d, step=%d)", k, size, step)
+	}
+	edges := make([][]uint32, k)
+	for i := 0; i < k; i++ {
+		sz := size - i*step
+		e := make([]uint32, sz)
+		for j := range e {
+			e[j] = uint32(j)
+		}
+		edges[i] = e
+	}
+	return New(edges, nil)
+}
+
+// Clique returns k hyperedges of the given size that all share one common
+// block of `core` vertices (every pair overlaps — a dense pattern in the
+// Sec. 5.5 sense).
+func Clique(k, size, core int) (*Pattern, error) {
+	return Star(k, size, core) // structurally identical construction
+}

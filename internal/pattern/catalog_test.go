@@ -1,0 +1,124 @@
+package pattern
+
+import (
+	"testing"
+
+	"ohminer/internal/intset"
+)
+
+func TestChain(t *testing.T) {
+	p, err := Chain(3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumEdges() != 3 {
+		t.Fatalf("edges %d", p.NumEdges())
+	}
+	s := p.Signature()
+	if s.Size(0b011) != 2 || s.Size(0b110) != 2 {
+		t.Fatalf("consecutive overlaps: %v", s.Sizes)
+	}
+	if s.Size(0b101) != 0 {
+		t.Fatalf("ends overlap: %d", s.Size(0b101))
+	}
+	for i := 0; i < 3; i++ {
+		if p.Degree(i) != 4 {
+			t.Fatalf("degree %d", p.Degree(i))
+		}
+	}
+	if _, err := Chain(2, 3, 0); err == nil {
+		t.Error("disconnected chain accepted")
+	}
+	if _, err := Chain(2, 3, 3); err == nil {
+		t.Error("overlap ≥ size accepted")
+	}
+}
+
+func TestStar(t *testing.T) {
+	p, err := Star(4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Signature()
+	// Every pair overlaps in exactly the core; the full intersection too.
+	for mask := 3; mask < 1<<4; mask++ {
+		if popcount(mask) >= 2 && s.Size(uint32(mask)) != 1 {
+			t.Fatalf("mask %b overlap %d want 1", mask, s.Size(uint32(mask)))
+		}
+	}
+	// All 4! leaf permutations are automorphisms.
+	if p.Automorphisms() != 24 {
+		t.Fatalf("automorphisms %d", p.Automorphisms())
+	}
+	if _, err := Star(2, 3, 3); err == nil {
+		t.Error("identical leaves accepted")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	p, err := Cycle(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Signature()
+	for i := 0; i < 4; i++ {
+		j := (i + 1) % 4
+		if s.Size(uint32(1<<i|1<<j)) != 1 {
+			t.Fatalf("ring edge (%d,%d) overlap %d", i, j, s.Size(uint32(1<<i|1<<j)))
+		}
+	}
+	if s.Size(0b0101) != 0 || s.Size(0b1010) != 0 {
+		t.Fatal("opposite hyperedges overlap")
+	}
+	// Dihedral symmetry: 2k automorphisms.
+	if p.Automorphisms() != 8 {
+		t.Fatalf("automorphisms %d want 8", p.Automorphisms())
+	}
+	if _, err := Cycle(2, 4, 1); err == nil {
+		t.Error("k=2 cycle accepted")
+	}
+	if _, err := Cycle(3, 2, 2); err == nil {
+		t.Error("size < 2·overlap accepted")
+	}
+}
+
+func TestNested(t *testing.T) {
+	p, err := Nested(3, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Degree(0) != 6 || p.Degree(1) != 4 || p.Degree(2) != 2 {
+		t.Fatalf("degrees %d %d %d", p.Degree(0), p.Degree(1), p.Degree(2))
+	}
+	for i := 1; i < 3; i++ {
+		if !intset.IsSubset(p.Edge(i), p.Edge(i-1)) {
+			t.Fatalf("edge %d not nested", i)
+		}
+	}
+	if _, err := Nested(4, 6, 2); err == nil {
+		t.Error("vanishing nested edge accepted")
+	}
+}
+
+func TestClique(t *testing.T) {
+	p, err := Clique(3, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Signature()
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if s.Size(uint32(1<<i|1<<j)) == 0 {
+				t.Fatalf("clique pair (%d,%d) disjoint", i, j)
+			}
+		}
+	}
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,40 @@
+package pattern
+
+import "testing"
+
+// FuzzParse hardens the pattern-literal parser: no panics on arbitrary
+// input; accepted patterns must roundtrip through String and keep their
+// overlap signature.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"0 1 2; 2 3 4",
+		"0 1",
+		"0,1;1,2",
+		"; ;",
+		"0 1 2 3 4 5; 3 4 5 6 7 8; 3 4 5 6 7 9 10 11",
+		"9999999 1; 1 2",
+		"0 0 0; 0 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1024 {
+			return // bound pattern vertex universes
+		}
+		p, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rt, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", p.String(), err)
+		}
+		if !rt.Signature().Equal(p.Signature()) {
+			t.Fatalf("signature changed across roundtrip for %q", input)
+		}
+		if p.Automorphisms() < 1 {
+			t.Fatalf("automorphism group empty for %q", input)
+		}
+	})
+}

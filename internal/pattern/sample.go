@@ -1,0 +1,187 @@
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ohminer/internal/hypergraph"
+	"ohminer/internal/intset"
+)
+
+// NewRand builds a deterministic RNG for pattern sampling.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Setting mirrors one row of Table 4: a pattern family P_i with |E|
+// hyperedges and a vertex-count range.
+type Setting struct {
+	Name     string
+	NumEdges int
+	VertMin  int
+	VertMax  int
+	Count    int // patterns sampled per setting (5 in the paper)
+}
+
+// Settings returns the Table 4 pattern settings P2–P6.
+func Settings() []Setting {
+	return []Setting{
+		{Name: "P2", NumEdges: 2, VertMin: 5, VertMax: 15, Count: 5},
+		{Name: "P3", NumEdges: 3, VertMin: 10, VertMax: 20, Count: 5},
+		{Name: "P4", NumEdges: 4, VertMin: 10, VertMax: 30, Count: 5},
+		{Name: "P5", NumEdges: 5, VertMin: 15, VertMax: 35, Count: 5},
+		{Name: "P6", NumEdges: 6, VertMin: 15, VertMax: 40, Count: 5},
+	}
+}
+
+// Sample draws a random connected pattern with numEdges hyperedges from the
+// data hypergraph h, with the union vertex count confined to
+// [vertMin, vertMax] — the paper's workload methodology (Sec. 5.1): start
+// from a random hyperedge and repeatedly add a hyperedge adjacent to an
+// already-chosen one. Sampled hyperedges are re-labeled to dense pattern
+// vertex IDs; when h is labeled the pattern inherits the vertex labels.
+//
+// Sample retries up to maxTries sub-hypergraph draws and returns an error
+// when h cannot host such a pattern.
+func Sample(h *hypergraph.Hypergraph, numEdges, vertMin, vertMax int, rng *rand.Rand) (*Pattern, error) {
+	const maxTries = 2000
+	for try := 0; try < maxTries; try++ {
+		edges, ok := sampleEdges(h, numEdges, vertMax, rng, false)
+		if !ok {
+			continue
+		}
+		p, ok := finishSample(h, edges, vertMin, vertMax)
+		if !ok {
+			continue
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("pattern: could not sample a %d-edge pattern with %d..%d vertices", numEdges, vertMin, vertMax)
+}
+
+// SampleDense draws a pattern in which every pair of hyperedges overlaps
+// (the dense patterns of Sec. 5.5).
+func SampleDense(h *hypergraph.Hypergraph, numEdges, vertMin, vertMax int, rng *rand.Rand) (*Pattern, error) {
+	const maxTries = 4000
+	for try := 0; try < maxTries; try++ {
+		edges, ok := sampleEdges(h, numEdges, vertMax, rng, true)
+		if !ok {
+			continue
+		}
+		p, ok := finishSample(h, edges, vertMin, vertMax)
+		if !ok {
+			continue
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("pattern: could not sample a dense %d-edge pattern with %d..%d vertices", numEdges, vertMin, vertMax)
+}
+
+// sampleEdges grows a set of distinct hyperedge IDs: each new edge must be
+// adjacent to a previous one (dense: to all previous ones) and keep the
+// union vertex count within vertMax.
+func sampleEdges(h *hypergraph.Hypergraph, numEdges, vertMax int, rng *rand.Rand, dense bool) ([]uint32, bool) {
+	first := uint32(rng.Intn(h.NumEdges()))
+	chosen := []uint32{first}
+	union := append([]uint32(nil), h.EdgeVertices(first)...)
+	if len(union) > vertMax {
+		return nil, false
+	}
+	for len(chosen) < numEdges {
+		// Pick a random already-chosen edge, then a random vertex of it,
+		// then a random incident edge — a cheap adjacent-edge draw.
+		base := chosen[rng.Intn(len(chosen))]
+		bv := h.EdgeVertices(base)
+		v := bv[rng.Intn(len(bv))]
+		inc := h.VertexEdges(v)
+		cand := inc[rng.Intn(len(inc))]
+		dup := false
+		for _, c := range chosen {
+			if c == cand {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			// A few duplicate draws are expected; give up on this attempt
+			// only with small probability to avoid livelock on tiny graphs.
+			if rng.Intn(8) == 0 {
+				return nil, false
+			}
+			continue
+		}
+		if dense {
+			ok := true
+			for _, c := range chosen {
+				if !intset.Intersects(h.EdgeVertices(c), h.EdgeVertices(cand)) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				if rng.Intn(8) == 0 {
+					return nil, false
+				}
+				continue
+			}
+		}
+		newUnion := intset.Union(union, h.EdgeVertices(cand), nil)
+		if len(newUnion) > vertMax {
+			if rng.Intn(4) == 0 {
+				return nil, false
+			}
+			continue
+		}
+		union = newUnion
+		chosen = append(chosen, cand)
+	}
+	return chosen, true
+}
+
+// finishSample relabels the sampled hyperedges into a Pattern and applies
+// the vertex-range and validity filters.
+func finishSample(h *hypergraph.Hypergraph, edgeIDs []uint32, vertMin, vertMax int) (*Pattern, bool) {
+	remap := map[uint32]uint32{}
+	var edges [][]uint32
+	for _, e := range edgeIDs {
+		verts := h.EdgeVertices(e)
+		edge := make([]uint32, 0, len(verts))
+		for _, v := range verts {
+			id, ok := remap[v]
+			if !ok {
+				id = uint32(len(remap))
+				remap[v] = id
+			}
+			edge = append(edge, id)
+		}
+		edges = append(edges, edge)
+	}
+	if len(remap) < vertMin || len(remap) > vertMax {
+		return nil, false
+	}
+	var labels []uint32
+	if h.Labeled() {
+		labels = make([]uint32, len(remap))
+		for orig, id := range remap {
+			labels[id] = h.Label(orig)
+		}
+	}
+	p, err := New(edges, labels)
+	if err != nil {
+		return nil, false // duplicate edges sampled; retry
+	}
+	return p, true
+}
+
+// SampleSet draws setting.Count patterns for one Table 4 setting,
+// deterministically from seed.
+func SampleSet(h *hypergraph.Hypergraph, setting Setting, seed int64) ([]*Pattern, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Pattern, 0, setting.Count)
+	for len(out) < setting.Count {
+		p, err := Sample(h, setting.NumEdges, setting.VertMin, setting.VertMax, rng)
+		if err != nil {
+			return nil, fmt.Errorf("pattern: setting %s: %w", setting.Name, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package pattern
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Shape is an isomorphism class of unlabeled connected patterns with K
+// hyperedges, identified by its canonical Venn region vector: Regions[mask]
+// (mask ∈ [1, 2^K)) is the number of pattern vertices lying in exactly the
+// hyperedges of mask. By Theorem 1, two patterns are isomorphic iff their
+// region vectors agree up to a permutation of hyperedge bits, so the
+// bit-permutation-minimal vector is a canonical form — shapes double as the
+// canonical labels that motif counting needs.
+type Shape struct {
+	K       int
+	Regions []int // length 2^K, index 0 unused; canonical under bit permutation
+}
+
+// Key returns a compact string identity for map keys.
+func (s Shape) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", s.K)
+	for mask := 1; mask < len(s.Regions); mask++ {
+		if mask > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s.Regions[mask])
+	}
+	return b.String()
+}
+
+// NumVertices returns the total vertex count of the shape.
+func (s Shape) NumVertices() int {
+	total := 0
+	for mask := 1; mask < len(s.Regions); mask++ {
+		total += s.Regions[mask]
+	}
+	return total
+}
+
+// String renders the region vector with set expressions.
+func (s Shape) String() string {
+	var parts []string
+	for mask := 1; mask < len(s.Regions); mask++ {
+		if s.Regions[mask] > 0 {
+			parts = append(parts, fmt.Sprintf("%0*b:%d", s.K, mask, s.Regions[mask]))
+		}
+	}
+	return "shape{" + strings.Join(parts, " ") + "}"
+}
+
+// Pattern realizes the shape as a concrete pattern: vertices are assigned
+// region by region, and hyperedge i collects the vertices of every region
+// whose mask contains bit i.
+func (s Shape) Pattern() (*Pattern, error) {
+	edges := make([][]uint32, s.K)
+	next := uint32(0)
+	for mask := 1; mask < len(s.Regions); mask++ {
+		for n := 0; n < s.Regions[mask]; n++ {
+			v := next
+			next++
+			for i := 0; i < s.K; i++ {
+				if mask&(1<<i) != 0 {
+					edges[i] = append(edges[i], v)
+				}
+			}
+		}
+	}
+	return New(edges, nil)
+}
+
+// ShapeOf returns the canonical shape of an unlabeled pattern.
+func ShapeOf(p *Pattern) Shape {
+	regions := p.Signature().RegionSizes()
+	return Shape{K: p.NumEdges(), Regions: canonicalRegions(p.NumEdges(), regions)}
+}
+
+// canonicalRegions returns the lexicographically minimal region vector over
+// all permutations of hyperedge bits.
+func canonicalRegions(k int, regions []int) []int {
+	best := make([]int, 1<<k)
+	copy(best, regions)
+	best[0] = 0
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	cand := make([]int, 1<<k)
+	permute(perm, 0, func(p []int) {
+		cand[0] = 0
+		for mask := 1; mask < 1<<k; mask++ {
+			var pm uint32
+			for i := 0; i < k; i++ {
+				if mask&(1<<i) != 0 {
+					pm |= 1 << uint(p[i])
+				}
+			}
+			cand[mask] = regions[pm]
+		}
+		for i := 1; i < 1<<k; i++ {
+			if cand[i] < best[i] {
+				copy(best, cand)
+				break
+			}
+			if cand[i] > best[i] {
+				break
+			}
+		}
+	})
+	return best
+}
+
+func permute(p []int, pos int, fn func([]int)) {
+	if pos == len(p) {
+		fn(p)
+		return
+	}
+	for i := pos; i < len(p); i++ {
+		p[pos], p[i] = p[i], p[pos]
+		permute(p, pos+1, fn)
+		p[pos], p[i] = p[i], p[pos]
+	}
+}
+
+// EnumerateShapes lists every connected K-hyperedge shape whose regions
+// each hold at most maxRegionSize vertices and whose total vertex count is
+// at most maxVertices, one representative per isomorphism class, in
+// deterministic order. K is capped at 4 (the vector space grows as
+// (maxRegionSize+1)^(2^K−1)).
+func EnumerateShapes(k, maxRegionSize, maxVertices int) ([]Shape, error) {
+	if k < 1 || k > 4 {
+		return nil, fmt.Errorf("pattern: EnumerateShapes supports 1..4 hyperedges, got %d", k)
+	}
+	if maxRegionSize < 1 || maxVertices < 1 {
+		return nil, fmt.Errorf("pattern: non-positive bounds")
+	}
+	n := 1 << k
+	regions := make([]int, n)
+	seen := map[string]bool{}
+	var out []Shape
+
+	var rec func(mask, total int)
+	rec = func(mask, total int) {
+		if mask == n {
+			if !shapeValid(k, regions) {
+				return
+			}
+			canon := canonicalRegions(k, regions)
+			s := Shape{K: k, Regions: canon}
+			key := s.Key()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, s)
+			}
+			return
+		}
+		for sz := 0; sz <= maxRegionSize && total+sz <= maxVertices; sz++ {
+			regions[mask] = sz
+			rec(mask+1, total+sz)
+		}
+		regions[mask] = 0
+	}
+	rec(1, 0)
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+// shapeValid demands non-empty hyperedges and overlap-connectivity.
+func shapeValid(k int, regions []int) bool {
+	// Edge sizes.
+	for i := 0; i < k; i++ {
+		size := 0
+		for mask := 1; mask < 1<<k; mask++ {
+			if mask&(1<<i) != 0 {
+				size += regions[mask]
+			}
+		}
+		if size == 0 {
+			return false
+		}
+	}
+	if k == 1 {
+		return true
+	}
+	// Distinct hyperedges: some populated region must separate each pair.
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			distinct := false
+			for mask := 1; mask < 1<<k; mask++ {
+				if regions[mask] > 0 && (mask&(1<<i) != 0) != (mask&(1<<j) != 0) {
+					distinct = true
+					break
+				}
+			}
+			if !distinct {
+				return false
+			}
+		}
+	}
+	// Connectivity over pairwise overlaps.
+	overlap := func(i, j int) bool {
+		for mask := 1; mask < 1<<k; mask++ {
+			if mask&(1<<i) != 0 && mask&(1<<j) != 0 && regions[mask] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	visited := uint32(1)
+	queue := []int{0}
+	for len(queue) > 0 {
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for j := 0; j < k; j++ {
+			if visited&(1<<j) == 0 && overlap(cur, j) {
+				visited |= 1 << j
+				queue = append(queue, j)
+			}
+		}
+	}
+	return bits.OnesCount32(visited) == k
+}

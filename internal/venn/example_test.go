@@ -1,0 +1,44 @@
+package venn_test
+
+import (
+	"fmt"
+
+	"ohminer/internal/venn"
+)
+
+// ExampleRegions reproduces the Figure 4 walkthrough: the example pattern's
+// seven Venn regions have sizes {3,1,3,0,0,2,3}.
+func ExampleRegions() {
+	edges := [][]uint32{
+		{0, 1, 2, 9, 10, 11},
+		{3, 7, 8, 9, 10, 11},
+		{4, 5, 6, 7, 8, 9, 10, 11},
+	}
+	regions, err := venn.Regions(edges)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range regions {
+		fmt.Printf("%s = %d\n", r.Expr(3), r.Size)
+	}
+	// Output:
+	// A1 \ A2 \ A3 = 3
+	// A2 \ A1 \ A3 = 1
+	// (A1 ∩ A2) \ A3 = 0
+	// A3 \ A1 \ A2 = 3
+	// (A1 ∩ A3) \ A2 = 0
+	// (A2 ∩ A3) \ A1 = 2
+	// A1 ∩ A2 ∩ A3 = 3
+}
+
+// ExampleIsomorphic decides subhypergraph isomorphism through Theorem 1:
+// equal region sizes (equivalently, equal overlap signatures) ⇔ isomorphic.
+func ExampleIsomorphic() {
+	pattern := [][]uint32{{0, 1, 2}, {2, 3}}
+	embedding := [][]uint32{{5, 7, 9}, {9, 11}}
+	broken := [][]uint32{{5, 7, 9}, {5, 9}} // overlap has 2 vertices, not 1
+	a, _ := venn.Isomorphic(pattern, embedding)
+	b, _ := venn.Isomorphic(pattern, broken)
+	fmt.Println(a, b)
+	// Output: true false
+}

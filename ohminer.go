@@ -1,0 +1,306 @@
+// Package ohminer is the public API of the OHMiner hypergraph pattern
+// mining system — a Go implementation of "OHMiner: An Overlap-centric
+// System for Efficient Hypergraph Pattern Mining" (EuroSys 2025).
+//
+// The typical flow:
+//
+//	h, _ := ohminer.LoadHypergraph("data.hg")      // or GenerateDataset
+//	store := ohminer.NewStore(h)                   // degree-aware data store
+//	p, _ := ohminer.ParsePattern("0 1 2; 2 3 4")   // or SamplePattern
+//	res, _ := ohminer.Mine(store, p)               // overlap-centric mining
+//	fmt.Println(res.Unique, "embeddings in", res.Elapsed)
+//
+// Mine accepts functional options to select baseline/ablation variants,
+// worker counts, kernels, and embedding callbacks; see the With* options.
+package ohminer
+
+import (
+	"io"
+	"math/rand"
+
+	"ohminer/internal/dal"
+	"ohminer/internal/dynamic"
+	"ohminer/internal/engine"
+	"ohminer/internal/gen"
+	"ohminer/internal/hypergraph"
+	"ohminer/internal/intset"
+	"ohminer/internal/motif"
+	"ohminer/internal/oig"
+	"ohminer/internal/pattern"
+)
+
+// Re-exported core types. The implementations live in internal packages;
+// these aliases form the supported public surface.
+type (
+	// Hypergraph is an immutable data hypergraph with dual CSR incidence.
+	Hypergraph = hypergraph.Hypergraph
+	// Store is the degree-aware data store (DAL) built over a hypergraph.
+	Store = dal.Store
+	// Pattern is a pattern hypergraph.
+	Pattern = pattern.Pattern
+	// Plan is a compiled overlap-centric execution plan.
+	Plan = oig.Plan
+	// Result reports one mining run.
+	Result = engine.Result
+	// Stats carries the engine instrumentation counters.
+	Stats = engine.Stats
+	// GeneratorConfig parameterizes synthetic dataset generation.
+	GeneratorConfig = gen.Config
+	// DatasetPreset describes one of the paper's Table 3 datasets.
+	DatasetPreset = gen.Preset
+	// PatternSetting mirrors one Table 4 pattern family row.
+	PatternSetting = pattern.Setting
+)
+
+// BuildHypergraph constructs a hypergraph from raw hyperedge vertex lists,
+// applying the paper's preprocessing (dedup of vertices within edges and of
+// whole edges). labels may be nil.
+func BuildHypergraph(numVertices int, edges [][]uint32, labels []uint32) (*Hypergraph, error) {
+	return hypergraph.Build(numVertices, edges, labels)
+}
+
+// BuildEdgeLabeledHypergraph is BuildHypergraph with per-hyperedge labels
+// (the Sec. 4.3.1 extension); hyperedges with identical vertex sets but
+// different labels are distinct.
+func BuildEdgeLabeledHypergraph(numVertices int, edges [][]uint32, labels, edgeLabels []uint32) (*Hypergraph, error) {
+	return hypergraph.BuildEdgeLabeled(numVertices, edges, labels, edgeLabels)
+}
+
+// NewEdgeLabeledPattern builds a pattern whose hyperedges carry labels that
+// candidates must match.
+func NewEdgeLabeledPattern(edges [][]uint32, labels, edgeLabels []uint32) (*Pattern, error) {
+	return pattern.NewEdgeLabeled(edges, labels, edgeLabels)
+}
+
+// LoadHypergraph reads a hypergraph from a text file (one hyperedge per
+// line; optional "#labels" block).
+func LoadHypergraph(path string) (*Hypergraph, error) { return hypergraph.Load(path) }
+
+// ReadHypergraph parses the text format from a reader.
+func ReadHypergraph(r io.Reader) (*Hypergraph, error) { return hypergraph.Parse(r) }
+
+// GenerateDataset produces a deterministic synthetic hypergraph.
+func GenerateDataset(cfg GeneratorConfig) (*Hypergraph, error) { return gen.Generate(cfg) }
+
+// DatasetPresets returns the Table 3 dataset catalogue (bench-scale).
+func DatasetPresets() []DatasetPreset { return gen.Presets() }
+
+// DatasetPresetByTag returns one preset (CH, CP, SB, HB, WT, TC, CD, AM,
+// SYN).
+func DatasetPresetByTag(tag string) (DatasetPreset, error) { return gen.PresetByTag(tag) }
+
+// NewStore builds the degree-aware data store for h. Construction is the
+// one-time preprocessing of Sec. 4.5; the store is immutable and safe for
+// concurrent mining.
+func NewStore(h *Hypergraph) *Store { return dal.Build(h) }
+
+// SaveStore persists a built store so later processes can skip
+// construction — the paper's amortized offline preprocessing.
+func SaveStore(s *Store, path string) error { return s.SaveFile(path) }
+
+// LoadStore reads a store persisted by SaveStore; h must be the identical
+// hypergraph (verified via content fingerprint).
+func LoadStore(path string, h *Hypergraph) (*Store, error) { return dal.LoadFile(path, h) }
+
+// NewPattern builds a pattern from hyperedge vertex lists (labels may be
+// nil).
+func NewPattern(edges [][]uint32, labels []uint32) (*Pattern, error) {
+	return pattern.New(edges, labels)
+}
+
+// ParsePattern reads a pattern literal such as "0 1 2; 2 3; 3 4 5".
+func ParsePattern(s string) (*Pattern, error) { return pattern.Parse(s) }
+
+// PatternSettings returns the paper's Table 4 pattern families P2–P6.
+func PatternSettings() []PatternSetting { return pattern.Settings() }
+
+// SamplePattern draws a random connected pattern with numEdges hyperedges
+// from h, with the total vertex count in [vertMin, vertMax] — the paper's
+// workload methodology.
+func SamplePattern(h *Hypergraph, numEdges, vertMin, vertMax int, seed int64) (*Pattern, error) {
+	return pattern.Sample(h, numEdges, vertMin, vertMax, rand.New(rand.NewSource(seed)))
+}
+
+// SampleDensePattern draws a pattern in which every hyperedge pair overlaps
+// (Sec. 5.5 sensitivity workload).
+func SampleDensePattern(h *Hypergraph, numEdges, vertMin, vertMax int, seed int64) (*Pattern, error) {
+	return pattern.SampleDense(h, numEdges, vertMin, vertMax, rand.New(rand.NewSource(seed)))
+}
+
+// Parametric pattern families — the recurring query shapes of the HPM
+// literature, ready-made.
+var (
+	// ChainPattern: k size-`size` hyperedges, consecutive ones sharing
+	// `overlap` vertices.
+	ChainPattern = pattern.Chain
+	// StarPattern: k size-`size` hyperedges sharing a common `core`.
+	StarPattern = pattern.Star
+	// CyclePattern: k hyperedges in a ring, adjacent ones sharing `overlap`
+	// vertices.
+	CyclePattern = pattern.Cycle
+	// NestedPattern: a ⊃-tower of k hyperedges shrinking by `step`.
+	NestedPattern = pattern.Nested
+	// CliquePattern: k hyperedges all sharing one `core` block (a dense
+	// pattern in the Sec. 5.5 sense).
+	CliquePattern = pattern.Clique
+)
+
+// CompilePattern runs the redundancy-free compiler and returns the
+// overlap-centric execution plan (with the merge optimization applied).
+func CompilePattern(p *Pattern) (*Plan, error) { return oig.Compile(p, oig.ModeMerged) }
+
+// Option configures Mine.
+type Option func(*engine.Options)
+
+// WithWorkers sets the number of mining goroutines (default GOMAXPROCS).
+func WithWorkers(n int) Option { return func(o *engine.Options) { o.Workers = n } }
+
+// WithVariant selects a system configuration by paper name: "OHMiner"
+// (default), "OHM-G", "OHM-V", "OHM-I", or "HGMatch".
+func WithVariant(name string) Option {
+	return func(o *engine.Options) {
+		v, err := engine.VariantByName(name)
+		if err != nil {
+			panic(err)
+		}
+		o.Gen, o.Val = v.Gen, v.Val
+	}
+}
+
+// WithScalarKernel disables the fast set kernels (the paper's no-SIMD
+// ablation).
+func WithScalarKernel() Option { return func(o *engine.Options) { o.Kernel = intset.Scalar } }
+
+// WithLimit stops mining once at least n ordered embeddings were found.
+func WithLimit(n uint64) Option { return func(o *engine.Options) { o.Limit = n } }
+
+// WithInstrumentation enables the Stats counters and phase timers.
+func WithInstrumentation() Option { return func(o *engine.Options) { o.Instrument = true } }
+
+// WithDataAwareOrder derives the matching order from data-hypergraph
+// selectivity (most selective hyperedge first) instead of the purely
+// structural connectivity order.
+func WithDataAwareOrder() Option { return func(o *engine.Options) { o.DataAwareOrder = true } }
+
+// WithEmbeddings registers a callback receiving every embedding (hyperedge
+// IDs in matching order). The engine serializes calls; copy the slice to
+// retain it.
+func WithEmbeddings(fn func(edges []uint32)) Option {
+	return func(o *engine.Options) { o.OnEmbedding = fn }
+}
+
+// WithCanonicalEmbeddingsOnly filters the WithEmbeddings callback to one
+// canonical tuple per unordered embedding (counts are unaffected): useful
+// when the pattern has automorphisms and each match should be reported
+// once.
+func WithCanonicalEmbeddingsOnly() Option {
+	return func(o *engine.Options) { o.UniqueOnly = true }
+}
+
+// Mine finds all embeddings of p in the store's hypergraph using the
+// overlap-centric engine (or the variant selected by options).
+func Mine(store *Store, p *Pattern, opts ...Option) (Result, error) {
+	o := engine.Options{}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return engine.Mine(store, p, o)
+}
+
+// MotifEntry is one row of a motif census.
+type MotifEntry = motif.Entry
+
+// MotifCensus enumerates every isomorphism class of k-hyperedge patterns
+// (regions bounded by maxRegionSize, total vertices by maxVertices) and
+// counts each one's occurrences — the motif-counting application layer.
+func MotifCensus(store *Store, k, maxRegionSize, maxVertices int, opts ...Option) ([]MotifEntry, error) {
+	o := engine.Options{}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return motif.Census(store, motif.Options{
+		K: k, MaxRegionSize: maxRegionSize, MaxVertices: maxVertices,
+		SkipAbsentDegrees: true, Engine: o,
+	})
+}
+
+// FrequentMotifs filters a census to motifs with at least minUnique
+// unordered occurrences.
+func FrequentMotifs(entries []MotifEntry, minUnique uint64) []MotifEntry {
+	return motif.Frequent(entries, minUnique)
+}
+
+// MotifSimilarity compares two censuses (same configuration) by cosine
+// similarity of their frequency vectors.
+func MotifSimilarity(a, b []MotifEntry) (float64, error) { return motif.Profile(a, b) }
+
+// DynamicMiner maintains a hypergraph growing by hyperedge batches and
+// answers incremental queries (embeddings created by the latest batch) —
+// the streaming extension.
+type DynamicMiner struct {
+	m *dynamic.Miner
+}
+
+// DynamicDelta is an incremental query result.
+type DynamicDelta = dynamic.Delta
+
+// NewDynamicMiner starts an incremental mining session from an initial
+// hypergraph.
+func NewDynamicMiner(numVertices int, initial [][]uint32) (*DynamicMiner, error) {
+	m, err := dynamic.NewMiner(numVertices, initial)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicMiner{m: m}, nil
+}
+
+// ApplyBatch inserts new hyperedges; previously assigned hyperedge IDs stay
+// stable and duplicates are absorbed.
+func (d *DynamicMiner) ApplyBatch(batch [][]uint32) error { return d.m.ApplyBatch(batch) }
+
+// Hypergraph returns the current hypergraph.
+func (d *DynamicMiner) Hypergraph() *Hypergraph { return d.m.Hypergraph() }
+
+// Store returns the current degree-aware store.
+func (d *DynamicMiner) Store() *Store { return d.m.Store() }
+
+// Epoch returns the number of batches applied after the initial one.
+func (d *DynamicMiner) Epoch() int { return d.m.Epoch() }
+
+// NumNewEdges returns the deduplicated size of the latest batch.
+func (d *DynamicMiner) NumNewEdges() int { return d.m.NumNewEdges() }
+
+// DeltaCount counts embeddings of p that use at least one hyperedge of the
+// latest batch: total(after) = total(before) + delta.
+func (d *DynamicMiner) DeltaCount(p *Pattern, opts ...Option) (DynamicDelta, error) {
+	o := engine.Options{}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return d.m.DeltaCount(p, o)
+}
+
+// TotalCount mines the full current hypergraph.
+func (d *DynamicMiner) TotalCount(p *Pattern, opts ...Option) (Result, error) {
+	o := engine.Options{}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return d.m.TotalCount(p, o)
+}
+
+// CountEstimate is an approximate embedding count with its standard error.
+type CountEstimate = engine.Estimate
+
+// EstimateCount approximates the embedding count by exhaustively mining the
+// subtrees of a uniform `fraction` sample of first-hyperedge candidates and
+// scaling up — the sampling-based approximation direction (ASAP/Arya) from
+// the paper's related work, implemented on the overlap-centric engine.
+// fraction 1 yields the exact count. Deterministic in seed.
+func EstimateCount(store *Store, p *Pattern, fraction float64, seed int64, opts ...Option) (CountEstimate, error) {
+	o := engine.Options{}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return engine.EstimateCount(store, p, fraction, seed, o)
+}

@@ -1,0 +1,110 @@
+package ohminer
+
+import (
+	"sync"
+	"testing"
+)
+
+func sessionFixture(t *testing.T) (*Session, *Pattern) {
+	t.Helper()
+	h, err := BuildHypergraph(15, [][]uint32{
+		{0, 1, 2, 3, 4, 5},
+		{3, 4, 5, 6, 7, 8},
+		{3, 4, 5, 6, 7, 9, 10, 11},
+		{0, 1, 2, 9, 12, 13},
+		{1, 3, 4, 5, 6, 7, 8, 14},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParsePattern("0 1 2 3 4 5; 3 4 5 6 7 8; 3 4 5 6 7 9 10 11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSession(NewStore(h)), p
+}
+
+func TestSessionCachesPlans(t *testing.T) {
+	s, p := sessionFixture(t)
+	for i := 0; i < 5; i++ {
+		res, err := s.Mine(p, WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Unique != 1 {
+			t.Fatalf("run %d: unique=%d", i, res.Unique)
+		}
+	}
+	if got := s.CachedPlans(); got != 1 {
+		t.Fatalf("cached plans %d want 1", got)
+	}
+	// The simple-mode variant compiles its own plan.
+	if _, err := s.Mine(p, WithVariant("OHM-I"), WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CachedPlans(); got != 2 {
+		t.Fatalf("cached plans %d want 2", got)
+	}
+}
+
+func TestSessionConcurrent(t *testing.T) {
+	s, p := sessionFixture(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.Mine(p, WithWorkers(1))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Unique != 1 {
+				errs <- errWrongCount
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type countErr struct{}
+
+func (countErr) Error() string { return "wrong count" }
+
+var errWrongCount = countErr{}
+
+func TestSessionLabeledKeying(t *testing.T) {
+	h, err := BuildHypergraph(4, [][]uint32{{0, 1}, {1, 2}, {2, 3}}, []uint32{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(NewStore(h))
+	p1, err := NewPattern([][]uint32{{0, 1}, {1, 2}}, []uint32{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPattern([][]uint32{{0, 1}, {1, 2}}, []uint32{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.Mine(p1, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Mine(p2, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same structure, different labels: must not share a cached plan.
+	if s.CachedPlans() != 2 {
+		t.Fatalf("cached plans %d want 2", s.CachedPlans())
+	}
+	if r1.Ordered == 0 && r2.Ordered == 0 {
+		t.Fatal("degenerate fixture: no labeled matches at all")
+	}
+}
