@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz experiments examples fmt vet clean
+.PHONY: all build test test-short race cover bench fuzz experiments examples fmt fmt-check vet lint ci clean
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/engine ./internal/dynamic ./internal/exp
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...
@@ -45,8 +45,18 @@ examples:
 fmt:
 	gofmt -w .
 
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (see docs/LINTING.md).
+lint:
+	$(GO) run ./cmd/ohmlint ./...
+
+# The full local gate: formatting, vet, ohmlint, then the race-enabled tests.
+ci: fmt-check vet lint race
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"ohminer/internal/cliio"
 	"ohminer/internal/gen"
 	"ohminer/internal/hypergraph"
 	"ohminer/internal/pattern"
@@ -44,11 +45,12 @@ func run() error {
 	flag.Parse()
 
 	if *list {
+		out := cliio.NewWriter(os.Stdout)
 		for _, p := range gen.Presets() {
-			fmt.Printf("%-4s scale=%.3f |V|=%d |E|=%d AD=%.2f  %s\n",
+			out.Printf("%-4s scale=%.3f |V|=%d |E|=%d AD=%.2f  %s\n",
 				p.Tag, p.Scale, p.Config.NumVertices, p.Config.NumEdges, p.Config.EdgeSizeMean, p.Description)
 		}
-		return nil
+		return out.Close()
 	}
 
 	cfg := gen.Config{

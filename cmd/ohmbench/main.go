@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"ohminer/internal/cliio"
 	"ohminer/internal/exp"
 )
 
@@ -28,9 +29,21 @@ func main() {
 	)
 	flag.Parse()
 
+	// Tables go to stdout through an error-latching writer so a broken
+	// pipe fails the run instead of truncating the results silently.
+	out := cliio.NewWriter(os.Stdout)
+	fail := func(code int, err error) {
+		out.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(code)
+	}
+
 	if *list {
 		for _, e := range exp.Experiments() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			out.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		if err := out.Close(); err != nil {
+			fail(1, err)
 		}
 		return
 	}
@@ -43,27 +56,27 @@ func main() {
 	} else {
 		e, err := exp.ByID(*expID)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fail(2, err)
 		}
 		todo = []exp.Experiment{e}
 	}
 
 	ctx := exp.NewContext()
 	for _, e := range todo {
-		fmt.Printf("# %s — %s\n", e.ID, e.Title)
+		out.Printf("# %s — %s\n", e.ID, e.Title)
 		start := time.Now()
 		tables, err := e.Run(ctx, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+			fail(1, fmt.Errorf("%s: %w", e.ID, err))
 		}
 		for _, t := range tables {
-			if err := t.Render(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			if err := t.Render(out); err != nil {
+				fail(1, err)
 			}
 		}
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		out.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if err := out.Close(); err != nil {
+		fail(1, err)
 	}
 }

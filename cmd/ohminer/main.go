@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"ohminer/internal/cliio"
 	"ohminer/internal/dal"
 	"ohminer/internal/engine"
 	"ohminer/internal/gen"
@@ -46,6 +47,10 @@ func run() error {
 		estimate = flag.Float64("estimate", 0, "approximate the count by mining this fraction (0,1) of first-edge subtrees")
 	)
 	flag.Parse()
+
+	// Results go to stdout through an error-latching writer: a broken
+	// pipe or full disk must fail the run, not truncate it silently.
+	out := cliio.NewWriter(os.Stdout)
 
 	var (
 		h   *hypergraph.Hypergraph
@@ -104,17 +109,17 @@ func run() error {
 		opts.Kernel = scalarKernel()
 	}
 	if *verbose {
-		opts.OnEmbedding = func(c []uint32) { fmt.Println(c) }
+		opts.OnEmbedding = func(c []uint32) { out.Println(c) }
 	}
 	if *estimate > 0 {
 		est, err := engine.EstimateCount(store, p, *estimate, *seed, opts)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("estimate: ordered≈%.0f (±%.0f stderr) unique≈%.0f from %d/%d roots in %v\n",
+		out.Printf("estimate: ordered≈%.0f (±%.0f stderr) unique≈%.0f from %d/%d roots in %v\n",
 			est.Ordered, est.StdErr, est.Unique, est.SampledRoots, est.TotalRoots,
 			est.Elapsed.Round(time.Microsecond))
-		return nil
+		return out.Close()
 	}
 	res, err := engine.Mine(store, p, opts)
 	if err != nil {
@@ -123,7 +128,7 @@ func run() error {
 	if *showPlan {
 		fmt.Fprintf(os.Stderr, "%s", res.Plan)
 	}
-	fmt.Printf("variant=%s ordered=%d unique=%d automorphisms=%d elapsed=%v\n",
+	out.Printf("variant=%s ordered=%d unique=%d automorphisms=%d elapsed=%v\n",
 		v.Name, res.Ordered, res.Unique, res.Automorphisms, res.Elapsed.Round(time.Microsecond))
-	return nil
+	return out.Close()
 }

@@ -1,0 +1,161 @@
+// Command ohmlint runs OHMiner's project-specific static analyzers over
+// the module: the invariants the compiler cannot check — hot-path
+// allocation freedom, worker scratch ownership, stamp-array discipline,
+// and no-panic library code. See docs/LINTING.md.
+//
+//	ohmlint ./...                        # whole module (the make lint entry)
+//	ohmlint ./internal/engine            # one package
+//	ohmlint -run hotpath-alloc ./...     # one analyzer
+//	ohmlint -list                        # describe the analyzers
+//
+// Exit status is 1 when any diagnostic survives suppression, 2 on usage
+// or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ohminer/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list  = flag.Bool("list", false, "list analyzers and exit")
+		runOn = flag.String("run", "", "comma-separated analyzer names (default: all)")
+		debug = flag.Bool("debug", false, "report packages whose type-checking failed (analysis degrades to syntax there)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.Analyzers()
+	if *runOn != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*runOn, ",") {
+			a, err := lint.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ohmlint:", err)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ohmlint:", err)
+		return 2
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dirs, err := expandArgs(moduleDir, args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ohmlint:", err)
+		return 2
+	}
+
+	pkgs, err := lint.Load(moduleDir, dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ohmlint:", err)
+		return 2
+	}
+	if *debug {
+		for _, p := range pkgs {
+			if p.TypeError != nil {
+				fmt.Fprintf(os.Stderr, "ohmlint: %s: type-checking degraded: %v\n", p.Path, p.TypeError)
+			}
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		rel, err := filepath.Rel(moduleDir, d.Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			rel = d.Pos.Filename
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ohmlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expandArgs resolves package arguments: a plain directory stands for
+// itself, a trailing /... walks the subtree for every directory holding
+// Go files (skipping testdata and hidden directories).
+func expandArgs(moduleDir string, args []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, arg := range args {
+		root, recursive := strings.CutSuffix(arg, "/...")
+		if root == "" || root == "." {
+			root = moduleDir
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				base := d.Name()
+				if path != root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") || base == "testdata") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+				add(filepath.Dir(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}

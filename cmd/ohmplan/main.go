@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"ohminer/internal/cliio"
 	"ohminer/internal/oig"
 	"ohminer/internal/pattern"
 	"ohminer/internal/venn"
@@ -38,6 +39,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	out := cliio.NewWriter(os.Stdout)
 	var m oig.Mode
 	switch *mode {
 	case "merged":
@@ -48,47 +50,47 @@ func run() error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
-	fmt.Printf("pattern: %s  (%d hyperedges, %d vertices, %d automorphisms)\n",
+	out.Printf("pattern: %s  (%d hyperedges, %d vertices, %d automorphisms)\n",
 		p, p.NumEdges(), p.NumVertices(), p.Automorphisms())
 
 	plan, err := oig.Compile(p, m)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("matching order: %v (original indices)\n", plan.Order)
+	out.Printf("matching order: %v (original indices)\n", plan.Order)
 
-	fmt.Println("\nOverlap Intersection Graph (reordered pattern):")
-	fmt.Print(plan.Graph)
+	out.Println("\nOverlap Intersection Graph (reordered pattern):")
+	out.Print(plan.Graph)
 
-	fmt.Println("overlap order (node IDs):", plan.Graph.OverlapOrder())
+	out.Println("overlap order (node IDs):", plan.Graph.OverlapOrder())
 
 	s := plan.Sig
 	pairConn := func(i, j int) bool { return s.Size(uint32(1<<i|1<<j)) > 0 }
 	for lvl := 1; lvl <= plan.Graph.NumLevels(); lvl++ {
 		groups := plan.Graph.Groups(lvl, pairConn)
 		if len(groups) > 1 {
-			fmt.Printf("level %d pruning groups: %v\n", lvl, groups)
+			out.Printf("level %d pruning groups: %v\n", lvl, groups)
 		}
 	}
 
-	fmt.Println("\nVenn regions of the pattern:")
+	out.Println("\nVenn regions of the pattern:")
 	regions, err := venn.Regions(plan.Pattern.Edges())
 	if err != nil {
 		return err
 	}
 	for _, r := range regions {
 		if r.Size > 0 {
-			fmt.Printf("  %-24s %d\n", r.Expr(p.NumEdges()), r.Size)
+			out.Printf("  %-24s %d\n", r.Expr(p.NumEdges()), r.Size)
 		}
 	}
 
-	fmt.Println("\nexecution plan:")
-	fmt.Print(plan)
-	fmt.Printf("compiled in %v; op counts: %v\n", plan.CompileTime, plan.NumOps())
+	out.Println("\nexecution plan:")
+	out.Print(plan)
+	out.Printf("compiled in %v; op counts: %v\n", plan.CompileTime, plan.NumOps())
 
 	if err := oig.Verify(plan); err != nil {
 		return fmt.Errorf("plan verification FAILED: %w", err)
 	}
-	fmt.Println("plan verification: OK")
-	return nil
+	out.Println("plan verification: OK")
+	return out.Close()
 }

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"ohminer/internal/cliio"
 	"ohminer/internal/dal"
 	"ohminer/internal/gen"
 	"ohminer/internal/hypergraph"
@@ -59,19 +60,20 @@ func run() error {
 		return err
 	}
 
+	out := cliio.NewWriter(os.Stdout)
 	s := hypergraph.ComputeStats(h)
-	fmt.Printf("%s\n", h)
-	fmt.Printf("  vertices:        %d (avg incident hyperedges %.2f, max %d)\n",
+	out.Printf("%s\n", h)
+	out.Printf("  vertices:        %d (avg incident hyperedges %.2f, max %d)\n",
 		s.NumVertices, s.AvgVertexDeg, s.MaxVertexDeg)
-	fmt.Printf("  hyperedges:      %d (avg degree %.2f, p50 %d, p99 %d, max %d)\n",
+	out.Printf("  hyperedges:      %d (avg degree %.2f, p50 %d, p99 %d, max %d)\n",
 		s.NumEdges, s.AvgEdgeDeg, s.EdgeDegreeP50, s.EdgeDegreeP99, s.MaxEdgeDeg)
-	fmt.Printf("  incidence:       %d entries, %.1f MB dual-CSR\n",
+	out.Printf("  incidence:       %d entries, %.1f MB dual-CSR\n",
 		h.TotalIncidence(), float64(h.MemoryBytes())/(1<<20))
 	if h.Labeled() {
-		fmt.Printf("  vertex labels:   %d classes\n", h.NumLabels())
+		out.Printf("  vertex labels:   %d classes\n", h.NumLabels())
 	}
 	if h.EdgeLabeled() {
-		fmt.Printf("  hyperedge labels: present\n")
+		out.Printf("  hyperedge labels: present\n")
 	}
 
 	// Degree histogram (top buckets).
@@ -84,14 +86,14 @@ func run() error {
 		degs = append(degs, d)
 	}
 	sort.Ints(degs)
-	fmt.Println("  degree histogram:")
+	out.Println("  degree histogram:")
 	shown := 0
 	for _, d := range degs {
 		if shown >= 12 {
-			fmt.Printf("    ... %d more degrees\n", len(degs)-shown)
+			out.Printf("    ... %d more degrees\n", len(degs)-shown)
 			break
 		}
-		fmt.Printf("    %4d: %d\n", d, hist[d])
+		out.Printf("    %4d: %d\n", d, hist[d])
 		shown++
 	}
 
@@ -105,15 +107,15 @@ func run() error {
 			probe = append(probe, d)
 		}
 		c := hypergraph.ConnectionDensity(h, probe, 500, *seed)
-		fmt.Printf("  connection density for degrees %v: %.4f\n", probe, c)
+		out.Printf("  connection density for degrees %v: %.4f\n", probe, c)
 	}
 
 	if !*noDAL {
 		start := time.Now()
 		store := dal.Build(h)
-		fmt.Printf("  DAL: built in %v, %.1f MB, %d distinct degrees\n",
+		out.Printf("  DAL: built in %v, %.1f MB, %d distinct degrees\n",
 			time.Since(start).Round(time.Millisecond),
 			float64(store.MemoryBytes())/(1<<20), len(store.Degrees()))
 	}
-	return nil
+	return out.Close()
 }

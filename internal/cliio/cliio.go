@@ -1,0 +1,77 @@
+// Package cliio provides error-tracked, buffered output for the command-
+// line tools. The cmd/ binaries print machine-consumed results to stdout;
+// a full pipe or closed descriptor must turn into a nonzero exit instead
+// of silently truncated output. Writer remembers the first underlying
+// write error, turns every later write into a no-op, and reports the
+// error from Close — so tool code prints straight-line without per-call
+// checks and still propagates failures:
+//
+//	out := cliio.NewWriter(os.Stdout)
+//	out.Printf("ordered=%d\n", n)
+//	return out.Close()
+package cliio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Writer is a buffered writer that latches the first error.
+type Writer struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// Write implements io.Writer; after an error it consumes input without
+// writing. It always reports success upward because the latched error is
+// returned from Err and Close — pass a *Writer to rendering helpers and
+// check once at the end.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return len(p), nil
+	}
+	n, err := w.bw.Write(p)
+	if err != nil {
+		w.err = err
+		return len(p), nil
+	}
+	if n < len(p) {
+		w.err = io.ErrShortWrite
+	}
+	return len(p), nil
+}
+
+// Printf formats into the writer.
+func (w *Writer) Printf(format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}
+
+// Println writes the operands followed by a newline.
+func (w *Writer) Println(args ...any) {
+	fmt.Fprintln(w, args...)
+}
+
+// Print writes the operands.
+func (w *Writer) Print(args ...any) {
+	fmt.Fprint(w, args...)
+}
+
+// Err returns the first write error observed so far.
+func (w *Writer) Err() error {
+	return w.err
+}
+
+// Close flushes the buffer and returns the first error of the writer's
+// lifetime. The underlying writer is not closed.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); w.err == nil && err != nil {
+		w.err = err
+	}
+	return w.err
+}

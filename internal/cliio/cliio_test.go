@@ -1,0 +1,61 @@
+package cliio
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+type failAfter struct {
+	n   int // bytes accepted before failing
+	got strings.Builder
+}
+
+var errDisk = errors.New("disk full")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.got.Len()+len(p) > f.n {
+		return 0, errDisk
+	}
+	f.got.Write(p)
+	return len(p), nil
+}
+
+func TestWriterCollectsOutput(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Printf("a=%d ", 1)
+	w.Println("b")
+	w.Print("c")
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got, want := sb.String(), "a=1 b\nc"; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestWriterLatchesFirstError(t *testing.T) {
+	// Buffer larger than the sink: the error surfaces at flush time.
+	w := NewWriter(&failAfter{n: 4})
+	for i := 0; i < 100; i++ {
+		w.Printf("%d\n", i)
+	}
+	if err := w.Close(); !errors.Is(err, errDisk) {
+		t.Fatalf("Close = %v, want %v", err, errDisk)
+	}
+}
+
+func TestWriterErrSurvivesLaterWrites(t *testing.T) {
+	sink := &failAfter{n: 0}
+	w := NewWriter(sink)
+	// Force a flush-sized write so the error hits immediately.
+	w.Print(strings.Repeat("x", 64<<10))
+	if w.Err() == nil {
+		t.Fatal("expected error after oversized write")
+	}
+	w.Println("more") // must not panic or clear the error
+	if err := w.Close(); !errors.Is(err, errDisk) {
+		t.Fatalf("Close = %v, want %v", err, errDisk)
+	}
+}

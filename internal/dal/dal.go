@@ -104,11 +104,15 @@ func (s *Store) Hypergraph() *hypergraph.Hypergraph { return s.h }
 
 // Adj returns the full adjacency list A(e), sorted by (degree, id). The
 // slice aliases internal storage.
+//
+//ohmlint:hotpath
 func (s *Store) Adj(e uint32) []uint32 {
 	return s.adj[s.adjOff[e]:s.adjOff[e+1]]
 }
 
 // NumNeighbors returns |A(e)|.
+//
+//ohmlint:hotpath
 func (s *Store) NumNeighbors(e uint32) int {
 	return int(s.adjOff[e+1] - s.adjOff[e])
 }
@@ -116,6 +120,8 @@ func (s *Store) NumNeighbors(e uint32) int {
 // AdjWithDegree returns the group of e's neighbors whose degree is exactly
 // d, sorted by ID. The slice aliases internal storage; it is empty when no
 // neighbor has that degree.
+//
+//ohmlint:hotpath
 func (s *Store) AdjWithDegree(e uint32, d int) []uint32 {
 	lo, hi := s.grpOff[e], s.grpOff[e+1]
 	// Binary search the (small) per-edge group table.
@@ -143,6 +149,8 @@ func (s *Store) AdjWithDegree(e uint32, d int) []uint32 {
 // Connected reports whether hyperedges a and b overlap, by binary search in
 // the degree group of a's adjacency list matching b's degree.
 // Connected(e, e) is false: an edge is not its own neighbor.
+//
+//ohmlint:hotpath
 func (s *Store) Connected(a, b uint32) bool {
 	if a == b {
 		return false

@@ -84,6 +84,23 @@ func Load(r io.Reader, h *hypergraph.Hypergraph) (*Store, error) {
 	if header[3] != uint64(m+1) || header[5] != uint64(m+1) {
 		return nil, fmt.Errorf("dal: corrupt offsets (%d edges)", m)
 	}
+	// Bound the array lengths before allocating: a corrupt or truncated
+	// header must produce an error, not a multi-gigabyte allocation. All
+	// indices are uint32, and the group tables cannot outnumber the
+	// adjacency entries they partition (validate() enforces the exact
+	// relationships after the read).
+	const maxEntries = 1 << 31
+	for _, n := range header[3:] {
+		if n > maxEntries {
+			return nil, fmt.Errorf("dal: corrupt header: array length %d", n)
+		}
+	}
+	if header[6] != header[7] {
+		return nil, fmt.Errorf("dal: corrupt header: group tables disagree (%d vs %d)", header[6], header[7])
+	}
+	if header[6] > header[4]+1 {
+		return nil, fmt.Errorf("dal: corrupt header: %d groups over %d adjacency entries", header[6], header[4])
+	}
 	s := &Store{
 		h:        h,
 		adjOff:   make([]uint32, header[3]),

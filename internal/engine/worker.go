@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"sort"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -12,7 +12,12 @@ import (
 )
 
 // worker owns all mutable state of one mining goroutine; the hot path
-// allocates nothing after construction.
+// allocates nothing after construction. The slice and map fields are
+// per-goroutine scratch whose backing arrays are reused across steps —
+// they must never be returned, stored elsewhere, or sent to another
+// goroutine (enforced by ohmlint's scratch-escape analyzer).
+//
+//ohmlint:scratch
 type worker struct {
 	e     *shared
 	found *atomic.Uint64
@@ -79,6 +84,10 @@ func newWorker(e *shared, found *atomic.Uint64) *worker {
 }
 
 // mineFrom explores the search subtree rooted at first bound to position 0.
+// It is the root of the mining hot path: nothing reachable from here may
+// allocate (enforced by ohmlint's hotpath-alloc analyzer).
+//
+//ohmlint:hotpath
 func (w *worker) mineFrom(first uint32) {
 	if w.stop {
 		return
@@ -149,6 +158,7 @@ func (w *worker) emit() {
 	w.count++
 	if w.e.opts.OnEmbedding != nil && w.isCanonical() {
 		w.e.emitMu.Lock()
+		//ohmlint:allow scratch-escape -- calls are serialized by emitMu and the API documents copy-to-retain
 		w.e.opts.OnEmbedding(w.c)
 		w.e.emitMu.Unlock()
 	}
@@ -282,7 +292,7 @@ func (w *worker) validateProfiles(t int) bool {
 	h := w.e.store.Hypergraph()
 	want := w.e.plan.ProfileCounts[t]
 	clear(w.profCount)
-	w.vertStamp++
+	w.nextVertStamp()
 	total := 0
 	distinctProfiles := 0
 	for i := 0; i <= t; i++ {
@@ -438,7 +448,7 @@ func (w *worker) generateHGMatch(t int) []uint32 {
 // keeping only hyperedges of the wanted degree, and returns them sorted.
 func (w *worker) mergeIncident(j uint32, degree int) []uint32 {
 	h := w.e.store.Hypergraph()
-	w.edgeStamp++
+	w.nextEdgeStamp()
 	w.nm = w.nm[:0]
 	for _, v := range h.EdgeVertices(j) {
 		for _, e := range h.VertexEdges(v) {
@@ -451,6 +461,28 @@ func (w *worker) mergeIncident(j uint32, degree int) []uint32 {
 			}
 		}
 	}
-	sort.Slice(w.nm, func(a, b int) bool { return w.nm[a] < w.nm[b] })
+	slices.Sort(w.nm)
 	return w.nm
+}
+
+// nextEdgeStamp opens a fresh edge-mark generation. On uint32 wraparound
+// the mark array is cleared and the stamp restarts at 1: without the
+// reset, marks written ~2^32 generations ago would compare equal to the
+// recycled stamp and stale hyperedges would be treated as already merged.
+func (w *worker) nextEdgeStamp() {
+	w.edgeStamp++
+	if w.edgeStamp == 0 {
+		clear(w.edgeMark)
+		w.edgeStamp = 1
+	}
+}
+
+// nextVertStamp opens a fresh vertex-mark generation, with the same
+// wraparound reset as nextEdgeStamp.
+func (w *worker) nextVertStamp() {
+	w.vertStamp++
+	if w.vertStamp == 0 {
+		clear(w.vertMark)
+		w.vertStamp = 1
+	}
 }

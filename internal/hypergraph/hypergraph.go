@@ -44,22 +44,30 @@ func (h *Hypergraph) NumEdges() int {
 
 // EdgeVertices returns the sorted vertex list of hyperedge e. The slice
 // aliases internal storage and must not be modified.
+//
+//ohmlint:hotpath
 func (h *Hypergraph) EdgeVertices(e uint32) []uint32 {
 	return h.edgeVerts[h.edgeOff[e]:h.edgeOff[e+1]]
 }
 
 // Degree returns D(e), the number of vertices in hyperedge e.
+//
+//ohmlint:hotpath
 func (h *Hypergraph) Degree(e uint32) int {
 	return int(h.edgeOff[e+1] - h.edgeOff[e])
 }
 
 // VertexEdges returns the sorted incident hyperedge list N(v). The slice
 // aliases internal storage and must not be modified.
+//
+//ohmlint:hotpath
 func (h *Hypergraph) VertexEdges(v uint32) []uint32 {
 	return h.vertEdges[h.vertOff[v]:h.vertOff[v+1]]
 }
 
 // VertexDegree returns D(v), the number of hyperedges incident to vertex v.
+//
+//ohmlint:hotpath
 func (h *Hypergraph) VertexDegree(v uint32) int {
 	return int(h.vertOff[v+1] - h.vertOff[v])
 }
@@ -72,6 +80,8 @@ func (h *Hypergraph) NumLabels() int { return h.numLabels }
 
 // Label returns the label of vertex v; it panics when the hypergraph is
 // unlabeled.
+//
+//ohmlint:hotpath
 func (h *Hypergraph) Label(v uint32) uint32 { return h.labels[v] }
 
 // Labels returns the full per-vertex label slice (nil when unlabeled). The
@@ -84,6 +94,8 @@ func (h *Hypergraph) EdgeLabeled() bool { return h.edgeLabels != nil }
 
 // EdgeLabel returns the label of hyperedge e; it panics when hyperedges are
 // unlabeled.
+//
+//ohmlint:hotpath
 func (h *Hypergraph) EdgeLabel(e uint32) uint32 { return h.edgeLabels[e] }
 
 // TotalIncidence returns Σ_e D(e) (= Σ_v D(v)), the incidence count.

@@ -30,6 +30,8 @@ var Fast = Kernel{Intersect: IntersectFast, IntersectCount: IntersectCountFast, 
 
 // IntersectFast computes a ∩ b into dst using galloping for skewed sizes and
 // an unrolled merge otherwise.
+//
+//ohmlint:hotpath
 func IntersectFast(a, b, dst []uint32) []uint32 {
 	if len(a) > len(b) {
 		a, b = b, a
@@ -44,6 +46,8 @@ func IntersectFast(a, b, dst []uint32) []uint32 {
 }
 
 // IntersectCountFast returns |a ∩ b| using the fast kernel family.
+//
+//ohmlint:hotpath
 func IntersectCountFast(a, b []uint32) int {
 	if len(a) > len(b) {
 		a, b = b, a

@@ -25,6 +25,8 @@ const gallopThreshold = 16
 
 // Intersect stores the intersection of a and b into dst (reusing its
 // capacity) and returns the resulting slice. The scalar two-pointer kernel.
+//
+//ohmlint:hotpath
 func Intersect(a, b, dst []uint32) []uint32 {
 	dst = dst[:0]
 	i, j := 0, 0
@@ -45,6 +47,8 @@ func Intersect(a, b, dst []uint32) []uint32 {
 }
 
 // IntersectCount returns |a ∩ b| using the scalar kernel.
+//
+//ohmlint:hotpath
 func IntersectCount(a, b []uint32) int {
 	n := 0
 	i, j := 0, 0
@@ -67,6 +71,8 @@ func IntersectCount(a, b []uint32) int {
 // Intersects reports whether a and b share at least one element, with early
 // exit at the first common element. Used for emptiness (disconnection)
 // checks, where a full intersection would be wasted work.
+//
+//ohmlint:hotpath
 func Intersects(a, b []uint32) bool {
 	// Gallop when sizes are skewed: probing the long side is much cheaper
 	// than merging through it.
@@ -100,6 +106,8 @@ func Intersects(a, b []uint32) bool {
 }
 
 // IsSubset reports whether every element of a occurs in b.
+//
+//ohmlint:hotpath
 func IsSubset(a, b []uint32) bool {
 	if len(a) > len(b) {
 		return false
@@ -135,6 +143,8 @@ func IsSubset(a, b []uint32) bool {
 }
 
 // Equal reports whether a and b hold identical sequences.
+//
+//ohmlint:hotpath
 func Equal(a, b []uint32) bool {
 	if len(a) != len(b) {
 		return false
@@ -148,6 +158,8 @@ func Equal(a, b []uint32) bool {
 }
 
 // Contains reports whether x occurs in the sorted slice s (binary search).
+//
+//ohmlint:hotpath
 func Contains(s []uint32, x uint32) bool {
 	k := searchFrom(s, 0, x)
 	return k < len(s) && s[k] == x

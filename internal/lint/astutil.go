@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// exprString renders an expression to canonical source text, for
+// syntactic identity checks (e.g. "append result assigned back to its
+// base operand").
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// recvTypeName returns the receiver's type name ("worker" for
+// func (w *worker) ...), or "" for plain functions.
+func recvTypeName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return ""
+	}
+	t := decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip generic instantiation if present.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// recvIdentName returns the receiver's binding name ("w"), or "".
+func recvIdentName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return decl.Recv.List[0].Names[0].Name
+}
+
+// funcDisplayName returns "worker.step" style names for diagnostics.
+func funcDisplayName(decl *ast.FuncDecl) string {
+	if r := recvTypeName(decl); r != "" {
+		return r + "." + decl.Name.Name
+	}
+	return decl.Name.Name
+}
+
+// calleeObject resolves a call's target to a types.Object when type
+// information is available (nil otherwise).
+func calleeObject(pkg *Package, call *ast.CallExpr) types.Object {
+	if pkg.Info == nil {
+		return nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// callGraph maps each function declaration of the package to the
+// same-package function declarations it calls. Resolution is type-based
+// when possible and falls back to name matching (idents and selector
+// method names) otherwise.
+func callGraph(pkg *Package) map[*ast.FuncDecl][]*ast.FuncDecl {
+	// Index declarations: by types object (precise) and by bare name
+	// (syntactic fallback; methods and functions share the namespace).
+	byObj := map[types.Object]*ast.FuncDecl{}
+	byName := map[string][]*ast.FuncDecl{}
+	var decls []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			decls = append(decls, fn)
+			byName[fn.Name.Name] = append(byName[fn.Name.Name], fn)
+			if pkg.Info != nil {
+				if obj := pkg.Info.Defs[fn.Name]; obj != nil {
+					byObj[obj] = fn
+				}
+			}
+		}
+	}
+	graph := map[*ast.FuncDecl][]*ast.FuncDecl{}
+	for _, fn := range decls {
+		seen := map[*ast.FuncDecl]bool{}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var targets []*ast.FuncDecl
+			if obj := calleeObject(pkg, call); obj != nil {
+				if d, ok := byObj[obj]; ok {
+					targets = []*ast.FuncDecl{d}
+				}
+			} else {
+				switch f := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					targets = byName[f.Name]
+				case *ast.SelectorExpr:
+					targets = byName[f.Sel.Name]
+				}
+			}
+			for _, t := range targets {
+				if !seen[t] {
+					seen[t] = true
+					graph[fn] = append(graph[fn], t)
+				}
+			}
+			return true
+		})
+	}
+	return graph
+}

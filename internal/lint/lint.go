@@ -1,0 +1,148 @@
+// Package lint is OHMiner's project-specific static-analysis framework:
+// a small analyzer harness over go/parser + go/ast + go/types (stdlib
+// only, preserving the repo's zero-dependency invariant) plus four
+// analyzers that encode the engine's unwritten contracts — the hot path
+// allocates nothing, worker scratch never escapes, stamp arrays are
+// advanced with wraparound handling, and library packages return errors
+// instead of panicking. See docs/LINTING.md for the invariant behind each
+// analyzer and the suppression syntax.
+//
+// The framework is deliberately package-local: every analyzer sees one
+// parsed, type-checked package at a time and reports diagnostics through
+// its Pass. Cross-package reachability is expressed with source
+// directives (//ohmlint:hotpath, //ohmlint:scratch) instead of a global
+// call graph, which keeps the analysis fast, predictable, and easy to
+// suppress at the exact site that needs it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ohmlint:allow comments.
+	Name string
+	// Doc is a one-line description shown by `ohmlint -list`.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Pass carries one (package, analyzer) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless the site carries an
+// //ohmlint:allow suppression for this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.allows(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the project's analyzer suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{HotPathAlloc, ScratchEscape, StampDiscipline, NoPanicLib}
+}
+
+// ByName returns the named analyzer.
+func ByName(name string) (*Analyzer, error) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics sorted by file position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// Directive comments.
+//
+//	//ohmlint:hotpath              — on a func: root of the allocation-free hot path
+//	//ohmlint:scratch              — on a struct type: slice/map fields are worker-owned scratch
+//	//ohmlint:allow <names> -- why — on or above a line: suppress the named analyzers there
+const (
+	directivePrefix = "//ohmlint:"
+	allowDirective  = "//ohmlint:allow"
+)
+
+// hasDirective reports whether the comment group carries the directive
+// (e.g. "hotpath"), ignoring any trailing argument text.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := directivePrefix + name
+	for _, c := range doc.List {
+		if c.Text == want || strings.HasPrefix(c.Text, want+" ") || strings.HasPrefix(c.Text, want+"\t") {
+			return true
+		}
+	}
+	return false
+}
+
+// allowedNames parses an //ohmlint:allow comment into analyzer names.
+// Everything after " -- " is a free-form justification.
+func allowedNames(text string) []string {
+	rest := strings.TrimPrefix(text, allowDirective)
+	if rest == text { // not an allow comment
+		return nil
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	fields := strings.FieldsFunc(rest, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+	return fields
+}

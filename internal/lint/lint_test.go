@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files from current analyzer output:
+//
+//	go test ./internal/lint -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runGolden analyzes testdata/src/<name> with the analyzer and compares
+// the diagnostics against testdata/src/<name>/expect.golden.
+func runGolden(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	if pkg.TypeError != nil {
+		t.Fatalf("testdata package %s must type-check, got: %v", name, pkg.TypeError)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: %s\n", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message)
+	}
+	got := b.String()
+
+	goldenPath := filepath.Join(dir, "expect.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+	// Every golden file must demonstrate at least one caught violation;
+	// an empty golden means the analyzer silently stopped finding its
+	// target class.
+	if strings.TrimSpace(got) == "" {
+		t.Errorf("%s: golden run produced no diagnostics — analyzer finds nothing", name)
+	}
+}
+
+func TestGoldenHotPathAlloc(t *testing.T)    { runGolden(t, HotPathAlloc, "hotpath") }
+func TestGoldenScratchEscape(t *testing.T)   { runGolden(t, ScratchEscape, "scratch") }
+func TestGoldenStampDiscipline(t *testing.T) { runGolden(t, StampDiscipline, "stamp") }
+func TestGoldenNoPanicLib(t *testing.T)      { runGolden(t, NoPanicLib, "nopanic") }
+
+func TestAllowedNames(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//ohmlint:allow hotpath-alloc", []string{"hotpath-alloc"}},
+		{"//ohmlint:allow a, b -- because", []string{"a", "b"}},
+		{"//ohmlint:allow all -- everything here is fine", []string{"all"}},
+		{"// regular comment", nil},
+		{"//ohmlint:hotpath", nil},
+	}
+	for _, c := range cases {
+		got := allowedNames(c.text)
+		if len(got) != len(c.want) {
+			t.Errorf("allowedNames(%q) = %v, want %v", c.text, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("allowedNames(%q) = %v, want %v", c.text, got, c.want)
+			}
+		}
+	}
+}
+
+func TestNoPanicLibSkipsCommands(t *testing.T) {
+	// The analyzer exempts cmd/ and examples/ packages by import path;
+	// build a fake package from the nopanic fixture under a cmd path.
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "nopanic"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"ohminer/cmd/ohmtool", "cmd/tool", "ohminer/examples/quickstart"} {
+		pkg.Path = path
+		diags := Run([]*Package{pkg}, []*Analyzer{NoPanicLib})
+		if len(diags) != 0 {
+			t.Errorf("no-panic-lib reported %d findings for command package %s", len(diags), path)
+		}
+	}
+}
+
+// TestTreeIsClean runs the full suite over this repository: the shipped
+// tree must stay violation-free, exactly like `make lint`.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	moduleDir := filepath.Join("..", "..")
+	var dirs []string
+	err := filepath.WalkDir(moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			base := d.Name()
+			if base != filepath.Base(moduleDir) && (strings.HasPrefix(base, ".") || base == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			dirs = append(dirs, filepath.Dir(path))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	var uniq []string
+	for _, d := range dirs {
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	pkgs, err := Load(moduleDir, uniq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// NoPanicLib forces library packages (everything outside cmd/ and
+// examples/) to report failures as errors. panic is allowed only for
+//
+//   - Must* wrappers (MustCompile, MustBuild, ... — documented
+//     test/example conveniences),
+//   - init functions (a broken package-level invariant cannot be
+//     reported any other way),
+//   - invariant-violation assertions carrying a constant string message
+//     ("unreachable by construction" sites; dynamic arguments mean the
+//     failure depends on input and belongs in an error return).
+var NoPanicLib = &Analyzer{
+	Name: "no-panic-lib",
+	Doc:  "flag panic in library packages outside Must* helpers, init, and constant-message assertions",
+	Run:  runNoPanicLib,
+}
+
+func runNoPanicLib(pass *Pass) {
+	path := pass.Pkg.Path
+	if strings.Contains(path, "/cmd/") || strings.Contains(path, "/examples/") ||
+		strings.HasPrefix(path, "cmd/") || strings.HasPrefix(path, "examples/") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Name.Name == "init" || strings.HasPrefix(fn.Name.Name, "Must") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isBuiltinCall(pass.Pkg, call, "panic") {
+					return true
+				}
+				if len(call.Args) == 1 {
+					if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						return true // constant-message invariant assertion
+					}
+				}
+				pass.Reportf(call.Pos(), "panic with a dynamic value in library function %s; return an error (or add a Must* wrapper)", funcDisplayName(fn))
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ScratchEscape guards the worker-ownership model: a struct marked
+// //ohmlint:scratch owns its slice- and map-typed fields as per-goroutine
+// scratch, and those buffers (or any reslice/element of them) must never
+// leave the owner. Inside the owner's methods it flags scratch being
+//
+//   - returned from an *exported* method (unexported returns are internal
+//     hand-offs within the same ownership domain),
+//   - assigned through a pointer to another struct (w.e.buf = w.tmp, or
+//     x.f = w.tmp),
+//   - sent on a channel,
+//   - passed to a function value stored in a field when the call's result
+//     is discarded (a side-effect callback such as OnEmbedding can retain
+//     the slice after the worker reuses it; value-returning calls like the
+//     kernel dispatch table borrow the buffer and hand it straight back),
+//   - captured by a go or defer statement's call arguments.
+//
+// Passing scratch to ordinary functions and methods is allowed: kernels
+// like intset.Intersect borrow buffers and hand them straight back.
+var ScratchEscape = &Analyzer{
+	Name: "scratch-escape",
+	Doc:  "flag worker scratch buffers escaping their owning struct",
+	Run:  runScratchEscape,
+}
+
+func runScratchEscape(pass *Pass) {
+	pkg := pass.Pkg
+	// Scratch struct name → set of scratch field names.
+	scratch := map[string]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gen, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if !hasDirective(gen.Doc, "scratch") && !hasDirective(ts.Doc, "scratch") {
+					continue
+				}
+				fields := map[string]bool{}
+				for _, fld := range st.Fields.List {
+					if !isBufferFieldType(fld.Type) {
+						continue
+					}
+					for _, name := range fld.Names {
+						fields[name.Name] = true
+					}
+				}
+				scratch[ts.Name.Name] = fields
+			}
+		}
+	}
+	if len(scratch) == 0 {
+		return
+	}
+
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fields, ok := scratch[recvTypeName(fn)]
+			if !ok {
+				continue
+			}
+			checkScratchFunc(pass, fn, fields)
+		}
+	}
+}
+
+// isBufferFieldType matches field types whose values share backing store:
+// slices (any depth) and maps.
+func isBufferFieldType(t ast.Expr) bool {
+	switch t := t.(type) {
+	case *ast.ArrayType:
+		return t.Len == nil
+	case *ast.MapType:
+		return true
+	}
+	return false
+}
+
+func checkScratchFunc(pass *Pass, fn *ast.FuncDecl, fields map[string]bool) {
+	pkg := pass.Pkg
+	recv := recvIdentName(fn)
+	if recv == "" {
+		return
+	}
+
+	// isScratch strips index/slice wrappers: w.cand, w.cand[t], and
+	// w.nm[:k] all alias the owned backing array.
+	var isScratch func(e ast.Expr) bool
+	isScratch = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			return isScratch(e.X)
+		case *ast.SliceExpr:
+			return isScratch(e.X)
+		case *ast.SelectorExpr:
+			id, ok := e.X.(*ast.Ident)
+			return ok && id.Name == recv && fields[e.Sel.Name]
+		}
+		return false
+	}
+	// containsScratch finds scratch anywhere in an expression tree
+	// (e.g. a struct literal wrapping a scratch slice).
+	containsScratch := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if expr, ok := n.(ast.Expr); ok && isScratch(expr) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	// ownedLhs reports whether an assignment target keeps the value
+	// inside the owner: a plain local, or recv.field (optionally
+	// indexed/resliced) — but not a deeper selector chain through recv
+	// (w.e.buf leaves the worker) and not a selector on anything else.
+	var ownedLhs func(e ast.Expr) bool
+	ownedLhs = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return true
+		case *ast.IndexExpr:
+			return ownedLhs(e.X)
+		case *ast.SliceExpr:
+			return ownedLhs(e.X)
+		case *ast.SelectorExpr:
+			id, ok := e.X.(*ast.Ident)
+			return ok && id.Name == recv
+		}
+		return false
+	}
+
+	// Calls whose result is discarded: only these count as side-effect
+	// callbacks for the stored-callback rule below.
+	discarded := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+				discarded[call] = true
+			}
+		}
+		return true
+	})
+
+	exported := fn.Name.IsExported()
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if !exported {
+				return true
+			}
+			for _, r := range n.Results {
+				if containsScratch(r) {
+					pass.Reportf(r.Pos(), "scratch buffer returned from exported method %s; callers may retain it across reuse — return a copy", funcDisplayName(fn))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !containsScratch(rhs) {
+					continue
+				}
+				lhs := n.Lhs[0]
+				if len(n.Lhs) == len(n.Rhs) {
+					lhs = n.Lhs[i]
+				}
+				if !ownedLhs(lhs) {
+					pass.Reportf(rhs.Pos(), "scratch buffer stored outside its owning struct (into %s); the worker reuses the backing array", exprString(pkg.Fset, lhs))
+				}
+			}
+		case *ast.SendStmt:
+			if containsScratch(n.Value) {
+				pass.Reportf(n.Value.Pos(), "scratch buffer sent on a channel; the receiver races with buffer reuse — send a copy")
+			}
+		case *ast.GoStmt:
+			for _, a := range n.Call.Args {
+				if containsScratch(a) {
+					pass.Reportf(a.Pos(), "scratch buffer passed to a goroutine; it races with buffer reuse — pass a copy")
+				}
+			}
+		case *ast.DeferStmt:
+			for _, a := range n.Call.Args {
+				if containsScratch(a) {
+					pass.Reportf(a.Pos(), "scratch buffer captured by defer; it may be observed after reuse — capture a copy")
+				}
+			}
+		case *ast.CallExpr:
+			if !discarded[n] || !isStoredCallback(pkg, n) {
+				return true
+			}
+			for _, a := range n.Args {
+				if containsScratch(a) {
+					pass.Reportf(a.Pos(), "scratch buffer passed to a stored callback; the callee may retain it across reuse — document copy-to-retain or pass a copy")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isStoredCallback reports whether the call invokes a function value held
+// in a struct field (w.e.opts.OnEmbedding(...)) rather than a method or
+// package function. With type info the selector must resolve to a
+// variable; syntactically a selector chain of depth ≥ 2 is assumed to be
+// a stored callback.
+func isStoredCallback(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkg.Info != nil {
+		obj := pkg.Info.Uses[sel.Sel]
+		_, isVar := obj.(*types.Var)
+		return isVar
+	}
+	_, chained := sel.X.(*ast.SelectorExpr)
+	return chained
+}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// StampDiscipline checks the stamp-array idiom the engine uses in place
+// of clearing mark arrays between generations: a struct pairs `xMark
+// []uint32` with `xStamp uint32`; entries are "set" by writing the
+// current stamp and "tested" by comparing against it, and a generation
+// begins by advancing the stamp. Two rules:
+//
+//  1. A function that touches recv.xMark[...] must first advance the
+//     paired stamp in the same function body — either recv.xStamp++
+//     directly or via a helper whose name mentions the stamp (e.g.
+//     nextEdgeStamp). Reading marks under a stale stamp silently matches
+//     the previous generation.
+//
+//  2. Every direct recv.xStamp++ must be immediately followed by the
+//     uint32 wraparound guard: `if recv.xStamp == 0 { clear(recv.xMark);
+//     recv.xStamp = 1 }` (a range-clear loop also counts). Without the
+//     guard, the stamp wraps after 2^32 generations and stale marks from
+//     ~4 billion generations ago read as current.
+var StampDiscipline = &Analyzer{
+	Name: "stamp-discipline",
+	Doc:  "flag mark-array use without a fresh stamp and stamp increments without wraparound reset",
+	Run:  runStampDiscipline,
+}
+
+func runStampDiscipline(pass *Pass) {
+	pkg := pass.Pkg
+	// Struct type name → mark-field name → stamp-field name.
+	pairs := map[string]map[string]string{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gen, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				names := map[string]bool{}
+				for _, fld := range st.Fields.List {
+					for _, n := range fld.Names {
+						names[n.Name] = true
+					}
+				}
+				for name := range names {
+					prefix, ok := strings.CutSuffix(name, "Mark")
+					if !ok {
+						continue
+					}
+					stamp := prefix + "Stamp"
+					if !names[stamp] {
+						continue
+					}
+					if pairs[ts.Name.Name] == nil {
+						pairs[ts.Name.Name] = map[string]string{}
+					}
+					pairs[ts.Name.Name][name] = stamp
+				}
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return
+	}
+
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			typePairs, ok := pairs[recvTypeName(fn)]
+			if !ok {
+				continue
+			}
+			checkStampFunc(pass, fn, typePairs)
+		}
+	}
+}
+
+func checkStampFunc(pass *Pass, fn *ast.FuncDecl, pairs map[string]string) {
+	recv := recvIdentName(fn)
+	if recv == "" {
+		return
+	}
+	// fieldSel matches recv.<name> syntactically.
+	fieldSel := func(e ast.Expr, name string) bool {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != name {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && id.Name == recv
+	}
+
+	for mark, stamp := range pairs {
+		// Position of the first stamp advance (increment or helper call)
+		// and of the first mark-array touch.
+		advancePos := token.Pos(-1)
+		firstMarkUse := token.Pos(-1)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IncDecStmt:
+				if n.Tok == token.INC && fieldSel(n.X, stamp) && (advancePos < 0 || n.Pos() < advancePos) {
+					advancePos = n.Pos()
+				}
+			case *ast.AssignStmt:
+				// recv.xStamp += 1 counts as an advance too.
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && fieldSel(n.Lhs[0], stamp) && (advancePos < 0 || n.Pos() < advancePos) {
+					advancePos = n.Pos()
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv &&
+						strings.Contains(strings.ToLower(sel.Sel.Name), strings.ToLower(stamp)) &&
+						(advancePos < 0 || n.Pos() < advancePos) {
+						advancePos = n.Pos()
+					}
+				}
+			case *ast.IndexExpr:
+				if fieldSel(n.X, mark) && (firstMarkUse < 0 || n.Pos() < firstMarkUse) {
+					firstMarkUse = n.Pos()
+				}
+			}
+			return true
+		})
+		if firstMarkUse >= 0 && (advancePos < 0 || advancePos > firstMarkUse) {
+			pass.Reportf(firstMarkUse, "%s.%s is read or written before %s.%s is advanced in %s; stale marks from the previous generation read as current",
+				recv, mark, recv, stamp, funcDisplayName(fn))
+		}
+
+		checkWraparound(pass, fn, recv, mark, stamp, fieldSel)
+	}
+}
+
+// checkWraparound verifies that every direct increment of recv.stamp is
+// followed, as the next statement of the same block, by the wraparound
+// guard that clears recv.mark and restarts the stamp.
+func checkWraparound(pass *Pass, fn *ast.FuncDecl, recv, mark, stamp string, fieldSel func(ast.Expr, string) bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			inc, ok := stmt.(*ast.IncDecStmt)
+			isInc := ok && inc.Tok == token.INC && fieldSel(inc.X, stamp)
+			if !isInc {
+				if as, ok := stmt.(*ast.AssignStmt); ok && as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && fieldSel(as.Lhs[0], stamp) {
+					isInc = true
+				}
+			}
+			if !isInc {
+				continue
+			}
+			if i+1 < len(block.List) && isWrapGuard(block.List[i+1], mark, stamp, fieldSel) {
+				continue
+			}
+			pass.Reportf(stmt.Pos(), "%s.%s++ without a uint32 wraparound guard in %s; follow it with `if %s.%s == 0 { clear(%s.%s); %s.%s = 1 }`",
+				recv, stamp, funcDisplayName(fn), recv, stamp, recv, mark, recv, stamp)
+		}
+		return true
+	})
+}
+
+// isWrapGuard matches `if recv.stamp == 0 { ... }` whose body clears the
+// mark array (clear builtin or a loop writing it) and resets the stamp.
+func isWrapGuard(stmt ast.Stmt, mark, stamp string, fieldSel func(ast.Expr, string) bool) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	isZero := func(e ast.Expr) bool {
+		lit, ok := ast.Unparen(e).(*ast.BasicLit)
+		return ok && lit.Kind == token.INT && lit.Value == "0"
+	}
+	if !(fieldSel(cond.X, stamp) && isZero(cond.Y)) && !(fieldSel(cond.Y, stamp) && isZero(cond.X)) {
+		return false
+	}
+	clearsMark, resetsStamp := false, false
+	ast.Inspect(ifs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "clear" && len(n.Args) == 1 && fieldSel(n.Args[0], mark) {
+				clearsMark = true
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && fieldSel(ix.X, mark) {
+					clearsMark = true
+				}
+				if fieldSel(lhs, stamp) && n.Tok == token.ASSIGN && i < len(n.Rhs) {
+					resetsStamp = true
+				}
+			}
+		}
+		return true
+	})
+	return clearsMark && resetsStamp
+}

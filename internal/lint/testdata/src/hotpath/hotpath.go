@@ -1,0 +1,37 @@
+// Package hotpath exercises the hotpath-alloc analyzer: run is the
+// annotated root, step is reachable from it, cold is not.
+package hotpath
+
+import "sort"
+
+type w struct {
+	buf []uint32
+	tmp []uint32
+}
+
+//ohmlint:hotpath
+func (x *w) run(n int) {
+	x.step(n)
+}
+
+func (x *w) step(n int) {
+	bad := make([]uint32, n)
+	p := new(int)
+	m := map[int]int{}
+	s := []int{1, 2}
+	f := func() {}
+	sort.Slice(x.buf, func(a, b int) bool { return x.buf[a] < x.buf[b] })
+	x.buf = append(x.buf, 1)     // ok: growth amortized into the same buffer
+	x.tmp = append(x.buf[:0], 9) // ok: reset-reslice base
+	y := append(x.tmp, 3)
+	//ohmlint:allow hotpath-alloc -- demonstrating suppression
+	z := make([]uint32, 1)
+	_, _, _, _, _, _ = bad, p, m, s, y, z
+	f()
+}
+
+// cold is not reachable from the root; construction-time allocation is
+// fine here.
+func cold(n int) []uint32 {
+	return make([]uint32, n)
+}

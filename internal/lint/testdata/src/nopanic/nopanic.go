@@ -1,0 +1,48 @@
+// Package nopanic exercises the no-panic-lib analyzer.
+package nopanic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a sentinel for the tests.
+var ErrBad = errors.New("bad")
+
+// MustThing may panic: Must* wrappers are the documented convenience.
+func MustThing(ok bool) int {
+	if !ok {
+		panic(ErrBad)
+	}
+	return 1
+}
+
+func init() {
+	if false {
+		panic(ErrBad) // init may panic: no other reporting channel
+	}
+}
+
+// invariant panics with a constant message: an unreachable-by-construction
+// assertion, allowed.
+func invariant(x int) {
+	if x < 0 {
+		panic("nopanic: negative x")
+	}
+}
+
+// bad panics with a dynamic error: flagged.
+func bad(err error) {
+	panic(err)
+}
+
+// badFmt panics with formatted (input-dependent) text: flagged.
+func badFmt(x int) {
+	panic(fmt.Sprintf("x=%d", x))
+}
+
+// suppressed demonstrates the escape hatch.
+func suppressed(err error) {
+	//ohmlint:allow no-panic-lib -- deliberate crash in a test fixture
+	panic(err)
+}

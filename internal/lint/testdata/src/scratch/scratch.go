@@ -1,0 +1,65 @@
+// Package scratch exercises the scratch-escape analyzer.
+package scratch
+
+type sink struct{ keep []uint32 }
+
+// worker owns per-goroutine scratch buffers.
+//
+//ohmlint:scratch
+type worker struct {
+	buf   []uint32
+	slots [][]uint32
+	out   *sink
+	ch    chan []uint32
+	cb    func([]uint32)
+	n     int
+}
+
+// fill reuses the scratch in place: allowed.
+func (w *worker) fill() {
+	w.buf = append(w.buf[:0], 1)
+	w.slots[0] = w.buf[:1]
+}
+
+// Buf returns scratch from an exported method: flagged.
+func (w *worker) Buf() []uint32 {
+	return w.buf
+}
+
+// internal hand-off inside the ownership domain: allowed.
+func (w *worker) internal() []uint32 {
+	return w.buf
+}
+
+// leakStore writes scratch through a pointer into another struct: flagged.
+func (w *worker) leakStore() {
+	w.out.keep = w.buf
+}
+
+// leakSend ships scratch to another goroutine: flagged.
+func (w *worker) leakSend() {
+	w.ch <- w.slots[0]
+}
+
+// leakCb hands scratch to a stored side-effect callback: flagged.
+func (w *worker) leakCb() {
+	w.cb(w.buf)
+}
+
+// leakGo passes scratch into a goroutine: flagged.
+func (w *worker) leakGo() {
+	go kernel(w.buf)
+}
+
+// borrow passes scratch to a plain function that hands it back: allowed.
+func (w *worker) borrow() []uint32 {
+	return kernel(w.buf)
+}
+
+// emit shows the documented suppression for serialized callbacks.
+func (w *worker) emit() {
+	//ohmlint:allow scratch-escape -- calls serialized upstream; API documents copy-to-retain
+	w.cb(w.buf)
+}
+
+func kernel(a []uint32) []uint32 { return a }

@@ -1,0 +1,49 @@
+// Package stamp exercises the stamp-discipline analyzer over the paired
+// xMark/xStamp idiom.
+package stamp
+
+type miner struct {
+	edgeMark  []uint32
+	edgeStamp uint32
+	vertMark  []uint32
+	vertStamp uint32
+}
+
+// good advances the stamp with the wraparound guard before touching the
+// mark array: clean.
+func (m *miner) good() {
+	m.edgeStamp++
+	if m.edgeStamp == 0 {
+		clear(m.edgeMark)
+		m.edgeStamp = 1
+	}
+	m.edgeMark[0] = m.edgeStamp
+}
+
+// stale reads marks without advancing the stamp: flagged.
+func (m *miner) stale() bool {
+	return m.edgeMark[0] == m.edgeStamp
+}
+
+// unguarded increments without the wraparound guard: flagged.
+func (m *miner) unguarded() {
+	m.vertStamp++
+	m.vertMark[3] = m.vertStamp
+}
+
+// viaHelper advances through a named helper: clean.
+func (m *miner) viaHelper() {
+	m.bumpVertStamp()
+	m.vertMark[1] = m.vertStamp
+}
+
+// bumpVertStamp clears with a loop instead of the clear builtin: clean.
+func (m *miner) bumpVertStamp() {
+	m.vertStamp++
+	if m.vertStamp == 0 {
+		for i := range m.vertMark {
+			m.vertMark[i] = 0
+		}
+		m.vertStamp = 1
+	}
+}

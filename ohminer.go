@@ -149,44 +149,66 @@ var (
 // overlap-centric execution plan (with the merge optimization applied).
 func CompilePattern(p *Pattern) (*Plan, error) { return oig.Compile(p, oig.ModeMerged) }
 
-// Option configures Mine.
-type Option func(*engine.Options)
+// Option configures Mine and the other mining entry points.
+type Option func(*config)
+
+// config accumulates the engine options selected by a chain of Options,
+// plus any configuration error. Errors surface from the mining call that
+// consumes the options instead of panicking at option-construction time
+// (library code must not panic on bad input; see docs/LINTING.md,
+// no-panic-lib).
+type config struct {
+	engine.Options
+	err error
+}
+
+// buildOptions applies the options and returns the engine configuration
+// or the first configuration error.
+func buildOptions(opts []Option) (engine.Options, error) {
+	var c config
+	for _, fn := range opts {
+		fn(&c)
+	}
+	return c.Options, c.err
+}
 
 // WithWorkers sets the number of mining goroutines (default GOMAXPROCS).
-func WithWorkers(n int) Option { return func(o *engine.Options) { o.Workers = n } }
+func WithWorkers(n int) Option { return func(c *config) { c.Workers = n } }
 
 // WithVariant selects a system configuration by paper name: "OHMiner"
-// (default), "OHM-G", "OHM-V", "OHM-I", or "HGMatch".
+// (default), "OHM-G", "OHM-V", "OHM-I", or "HGMatch". An unknown name is
+// reported by the mining call that consumes the options.
 func WithVariant(name string) Option {
-	return func(o *engine.Options) {
+	return func(c *config) {
 		v, err := engine.VariantByName(name)
 		if err != nil {
-			panic(err)
+			c.err = err
+			return
 		}
-		o.Gen, o.Val = v.Gen, v.Val
+		c.Gen, c.Val = v.Gen, v.Val
 	}
 }
 
 // WithScalarKernel disables the fast set kernels (the paper's no-SIMD
 // ablation).
-func WithScalarKernel() Option { return func(o *engine.Options) { o.Kernel = intset.Scalar } }
+func WithScalarKernel() Option { return func(c *config) { c.Kernel = intset.Scalar } }
 
 // WithLimit stops mining once at least n ordered embeddings were found.
-func WithLimit(n uint64) Option { return func(o *engine.Options) { o.Limit = n } }
+func WithLimit(n uint64) Option { return func(c *config) { c.Limit = n } }
 
 // WithInstrumentation enables the Stats counters and phase timers.
-func WithInstrumentation() Option { return func(o *engine.Options) { o.Instrument = true } }
+func WithInstrumentation() Option { return func(c *config) { c.Instrument = true } }
 
 // WithDataAwareOrder derives the matching order from data-hypergraph
 // selectivity (most selective hyperedge first) instead of the purely
 // structural connectivity order.
-func WithDataAwareOrder() Option { return func(o *engine.Options) { o.DataAwareOrder = true } }
+func WithDataAwareOrder() Option { return func(c *config) { c.DataAwareOrder = true } }
 
 // WithEmbeddings registers a callback receiving every embedding (hyperedge
 // IDs in matching order). The engine serializes calls; copy the slice to
 // retain it.
 func WithEmbeddings(fn func(edges []uint32)) Option {
-	return func(o *engine.Options) { o.OnEmbedding = fn }
+	return func(c *config) { c.OnEmbedding = fn }
 }
 
 // WithCanonicalEmbeddingsOnly filters the WithEmbeddings callback to one
@@ -194,15 +216,15 @@ func WithEmbeddings(fn func(edges []uint32)) Option {
 // when the pattern has automorphisms and each match should be reported
 // once.
 func WithCanonicalEmbeddingsOnly() Option {
-	return func(o *engine.Options) { o.UniqueOnly = true }
+	return func(c *config) { c.UniqueOnly = true }
 }
 
 // Mine finds all embeddings of p in the store's hypergraph using the
 // overlap-centric engine (or the variant selected by options).
 func Mine(store *Store, p *Pattern, opts ...Option) (Result, error) {
-	o := engine.Options{}
-	for _, fn := range opts {
-		fn(&o)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return Result{}, err
 	}
 	return engine.Mine(store, p, o)
 }
@@ -214,9 +236,9 @@ type MotifEntry = motif.Entry
 // (regions bounded by maxRegionSize, total vertices by maxVertices) and
 // counts each one's occurrences — the motif-counting application layer.
 func MotifCensus(store *Store, k, maxRegionSize, maxVertices int, opts ...Option) ([]MotifEntry, error) {
-	o := engine.Options{}
-	for _, fn := range opts {
-		fn(&o)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
 	}
 	return motif.Census(store, motif.Options{
 		K: k, MaxRegionSize: maxRegionSize, MaxVertices: maxVertices,
@@ -273,18 +295,18 @@ func (d *DynamicMiner) NumNewEdges() int { return d.m.NumNewEdges() }
 // DeltaCount counts embeddings of p that use at least one hyperedge of the
 // latest batch: total(after) = total(before) + delta.
 func (d *DynamicMiner) DeltaCount(p *Pattern, opts ...Option) (DynamicDelta, error) {
-	o := engine.Options{}
-	for _, fn := range opts {
-		fn(&o)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return DynamicDelta{}, err
 	}
 	return d.m.DeltaCount(p, o)
 }
 
 // TotalCount mines the full current hypergraph.
 func (d *DynamicMiner) TotalCount(p *Pattern, opts ...Option) (Result, error) {
-	o := engine.Options{}
-	for _, fn := range opts {
-		fn(&o)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return Result{}, err
 	}
 	return d.m.TotalCount(p, o)
 }
@@ -298,9 +320,9 @@ type CountEstimate = engine.Estimate
 // the paper's related work, implemented on the overlap-centric engine.
 // fraction 1 yields the exact count. Deterministic in seed.
 func EstimateCount(store *Store, p *Pattern, fraction float64, seed int64, opts ...Option) (CountEstimate, error) {
-	o := engine.Options{}
-	for _, fn := range opts {
-		fn(&o)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return CountEstimate{}, err
 	}
 	return engine.EstimateCount(store, p, fraction, seed, o)
 }

@@ -41,9 +41,9 @@ func (s *Session) Store() *Store { return s.store }
 // pattern. All Mine options apply except the validation-mode-changing
 // variants, which select the plan mode transparently.
 func (s *Session) Mine(p *Pattern, opts ...Option) (Result, error) {
-	o := engine.Options{}
-	for _, fn := range opts {
-		fn(&o)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return Result{}, err
 	}
 	mode := oig.ModeMerged
 	if o.Val == engine.ValOverlapSimple {
