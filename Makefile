@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz experiments examples fmt fmt-check vet lint ci clean
+.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples fmt fmt-check vet lint ci clean
 
 all: build test lint
 
@@ -23,6 +23,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable engine benchmark cells (scheduler scaling ablation) —
+# tracked across PRs in BENCH_engine.json.
+bench-json:
+	$(GO) run ./cmd/ohmbench -exp sched -json BENCH_engine.json
 
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/hypergraph

@@ -20,12 +20,13 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("exp", "all", "experiment id (fig3, fig12, table5, fig13, fig14, fig15, fig16, fig17a, fig17b, table6) or 'all'")
-		quick   = flag.Bool("quick", false, "trim datasets and pattern settings for a fast run")
-		seed    = flag.Int64("seed", 42, "pattern sampling seed")
-		workers = flag.Int("workers", 0, "mining workers (0 = GOMAXPROCS)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		budget  = flag.Duration("budget", 45*time.Second, "time budget per (dataset, setting, system) cell; 0 = unbounded")
+		expID    = flag.String("exp", "all", "experiment id (fig3, fig12, table5, fig13, fig14, fig15, fig16, fig17a, fig17b, table6, sched) or 'all'")
+		quick    = flag.Bool("quick", false, "trim datasets and pattern settings for a fast run")
+		seed     = flag.Int64("seed", 42, "pattern sampling seed")
+		workers  = flag.Int("workers", 0, "mining workers (0 = GOMAXPROCS)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		budget   = flag.Duration("budget", 45*time.Second, "time budget per (dataset, setting, system) cell; 0 = unbounded")
+		jsonPath = flag.String("json", "", "write machine-readable per-cell results to this file (e.g. BENCH_engine.json)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,9 @@ func main() {
 
 	exp.Progress = os.Stderr
 	opts := exp.RunOpts{Quick: *quick, Seed: *seed, Workers: *workers, CellBudget: *budget}
+	if *jsonPath != "" {
+		opts.Recorder = &exp.Recorder{}
+	}
 	var todo []exp.Experiment
 	if *expID == "all" {
 		todo = exp.Experiments()
@@ -75,6 +79,12 @@ func main() {
 			}
 		}
 		out.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if opts.Recorder != nil {
+		if err := opts.Recorder.WriteFile(*jsonPath); err != nil {
+			fail(1, fmt.Errorf("writing %s: %w", *jsonPath, err))
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d cells to %s\n", len(opts.Recorder.Cells()), *jsonPath)
 	}
 	if err := out.Close(); err != nil {
 		fail(1, err)

@@ -130,5 +130,8 @@ func run() error {
 	}
 	out.Printf("variant=%s ordered=%d unique=%d automorphisms=%d elapsed=%v\n",
 		v.Name, res.Ordered, res.Unique, res.Automorphisms, res.Elapsed.Round(time.Microsecond))
+	if s := res.Stats; s.Publishes > 0 || s.Steals > 0 {
+		out.Printf("scheduler: publishes=%d steals=%d idle-spins=%d\n", s.Publishes, s.Steals, s.IdleSpins)
+	}
 	return out.Close()
 }

@@ -116,6 +116,23 @@ func run() error {
 		out.Printf("  DAL: built in %v, %.1f MB, %d distinct degrees\n",
 			time.Since(start).Round(time.Millisecond),
 			float64(store.MemoryBytes())/(1<<20), len(store.Degrees()))
+		// First-step candidate pools from the degree index — the seed tasks
+		// the work-stealing scheduler distributes; a pool of 1-2 edges means
+		// parallelism will come entirely from subtree stealing.
+		degs := store.Degrees()
+		top, topDeg := 0, 0
+		low, lowDeg := -1, 0
+		for _, d := range degs {
+			n := store.NumEdgesWithDegree(d)
+			if n > top {
+				top, topDeg = n, d
+			}
+			if low < 0 || n < low {
+				low, lowDeg = n, d
+			}
+		}
+		out.Printf("  degree index: largest first-step pool %d edges (degree %d), smallest %d (degree %d)\n",
+			top, topDeg, low, lowDeg)
 	}
 	return out.Close()
 }

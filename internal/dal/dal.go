@@ -38,6 +38,15 @@ type Store struct {
 	grpDeg   []uint32
 	grpStart []uint32
 
+	// Global degree index: degList holds the sorted distinct hyperedge
+	// degrees; the edges of degree degList[k] are
+	// degEdges[degOff[k]:degOff[k+1]], ascending. Built once so
+	// EdgesWithDegree (the first mining step of every run) and data-aware
+	// ordering answer from a CSR lookup instead of an O(E) scan.
+	degList  []uint32
+	degOff   []uint32
+	degEdges []uint32
+
 	buildTime time.Duration
 }
 
@@ -95,8 +104,59 @@ func Build(h *hypergraph.Hypergraph) *Store {
 		}
 		s.grpOff[e+1] = uint32(len(s.grpDeg))
 	}
+	s.buildDegreeIndex()
 	s.buildTime = time.Since(start)
 	return s
+}
+
+// buildDegreeIndex derives the global degree→edges CSR from the hypergraph.
+// Also invoked after Load: the index is cheap to rebuild, so it is not part
+// of the serialized format.
+func (s *Store) buildDegreeIndex() {
+	m := s.h.NumEdges()
+	count := map[uint32]uint32{}
+	for e := 0; e < m; e++ {
+		count[uint32(s.h.Degree(uint32(e)))]++
+	}
+	s.degList = make([]uint32, 0, len(count))
+	for d := range count {
+		s.degList = append(s.degList, d)
+	}
+	sort.Slice(s.degList, func(i, j int) bool { return s.degList[i] < s.degList[j] })
+	s.degOff = make([]uint32, len(s.degList)+1)
+	pos := make(map[uint32]uint32, len(s.degList))
+	for i, d := range s.degList {
+		s.degOff[i+1] = s.degOff[i] + count[d]
+		pos[d] = uint32(i)
+	}
+	s.degEdges = make([]uint32, m)
+	cursor := append([]uint32(nil), s.degOff[:len(s.degList)]...)
+	for e := 0; e < m; e++ {
+		k := pos[uint32(s.h.Degree(uint32(e)))]
+		s.degEdges[cursor[k]] = uint32(e)
+		cursor[k]++
+	}
+}
+
+// degreeGroup binary-searches the distinct-degree list and returns the CSR
+// group index for degree d, or -1 when no hyperedge has that degree.
+func (s *Store) degreeGroup(d int) int {
+	if d < 0 {
+		return -1
+	}
+	lo, hi := 0, len(s.degList)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.degList[mid] < uint32(d) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(s.degList) || s.degList[lo] != uint32(d) {
+		return -1
+	}
+	return lo
 }
 
 // Hypergraph returns the hypergraph the store indexes.
@@ -163,38 +223,44 @@ func (s *Store) Connected(a, b uint32) bool {
 }
 
 // Degrees returns the sorted distinct hyperedge degrees present in the
-// hypergraph, useful for workload construction.
+// hypergraph, useful for workload construction. The slice is freshly
+// allocated and may be modified.
 func (s *Store) Degrees() []int {
-	seen := map[int]bool{}
-	for e := 0; e < s.h.NumEdges(); e++ {
-		seen[s.h.Degree(uint32(e))] = true
+	out := make([]int, len(s.degList))
+	for i, d := range s.degList {
+		out[i] = int(d)
 	}
-	out := make([]int, 0, len(seen))
-	for d := range seen {
-		out = append(out, d)
-	}
-	sort.Ints(out)
 	return out
 }
 
-// EdgesWithDegree returns all hyperedge IDs of degree d, ascending. It scans
-// the hypergraph once; callers cache the result per degree.
+// EdgesWithDegree returns all hyperedge IDs of degree d, ascending — a CSR
+// group lookup on the precomputed degree index, not a scan. The slice
+// aliases internal storage and must be treated as read-only.
 func (s *Store) EdgesWithDegree(d int) []uint32 {
-	var out []uint32
-	for e := 0; e < s.h.NumEdges(); e++ {
-		if s.h.Degree(uint32(e)) == d {
-			out = append(out, uint32(e))
-		}
+	k := s.degreeGroup(d)
+	if k < 0 {
+		return nil
 	}
-	return out
+	return s.degEdges[s.degOff[k]:s.degOff[k+1]]
+}
+
+// NumEdgesWithDegree returns the number of hyperedges of degree d without
+// materializing the list.
+func (s *Store) NumEdgesWithDegree(d int) int {
+	k := s.degreeGroup(d)
+	if k < 0 {
+		return 0
+	}
+	return int(s.degOff[k+1] - s.degOff[k])
 }
 
 // BuildTime returns the wall-clock construction duration (DAL-T, Table 6).
 func (s *Store) BuildTime() time.Duration { return s.buildTime }
 
 // MemoryBytes estimates the resident size of the DAL arrays (DAL-M,
-// Table 6).
+// Table 6), including the global degree index.
 func (s *Store) MemoryBytes() int64 {
-	n := len(s.adjOff) + len(s.adj) + len(s.grpOff) + len(s.grpDeg) + len(s.grpStart)
+	n := len(s.adjOff) + len(s.adj) + len(s.grpOff) + len(s.grpDeg) + len(s.grpStart) +
+		len(s.degList) + len(s.degOff) + len(s.degEdges)
 	return int64(n) * 4
 }

@@ -117,6 +117,9 @@ func Load(r io.Reader, h *hypergraph.Hypergraph) (*Store, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
+	// The global degree index is derived from the hypergraph alone, so it is
+	// rebuilt here instead of being part of the file format.
+	s.buildDegreeIndex()
 	return s, nil
 }
 

@@ -8,11 +8,14 @@
 //	OHM-I     = GenHGMatch + ValOverlapSimple  (IEP only, Fig. 15)
 //	HGMatch   = GenHGMatch + ValProfiles       (baseline, Sec. 2.3)
 //
-// The engine explores the search tree depth-first. Candidates of the first
-// pattern hyperedge are distributed dynamically over worker goroutines (the
-// OpenMP dynamic-scheduling strategy of the paper); each worker owns all its
-// scratch state, so the hot path allocates nothing. The intset kernel choice
-// (Fast vs Scalar) reproduces the SIMD on/off ablation.
+// The engine explores the search tree depth-first. Subtree tasks (a bound
+// prefix plus a remaining candidate range) are distributed over worker
+// goroutines by a work-stealing scheduler (scheduler.go): busy workers
+// publish untouched sibling ranges near the top of the tree and idle workers
+// steal them, generalizing the paper's first-level dynamic scheduling so
+// skewed subtrees no longer serialize. Each worker owns all its scratch
+// state, so the steady-state hot path allocates nothing. The intset kernel
+// choice (Fast vs Scalar) reproduces the SIMD on/off ablation.
 package engine
 
 import (
@@ -145,6 +148,17 @@ type Options struct {
 	// incremental miner to count embeddings touching newly inserted
 	// hyperedges exactly once).
 	PositionFilter func(pos int, edge uint32) bool
+	// SplitDepth bounds how deep in the search tree workers publish
+	// untouched sibling candidate ranges for work stealing: positions
+	// t < SplitDepth are splittable. 0 selects the default (the first two
+	// levels); negative values disable the work-stealing scheduler and fall
+	// back to first-level-only dynamic distribution — the pre-scheduler
+	// behavior, kept as an ablation baseline.
+	SplitDepth int
+	// SplitThreshold is the minimum number of unexplored candidates that
+	// must remain at a splittable position before half of them are
+	// published (0 = default 4). Lower values split more aggressively.
+	SplitThreshold int
 }
 
 // Stats carries the instrumentation counters behind Fig. 3.
@@ -170,6 +184,15 @@ type Stats struct {
 	// validation (Fig. 3(a)); only tracked when Options.Instrument is set.
 	GenTime time.Duration
 	ValTime time.Duration
+	// Scheduler counters (always tracked; they cost one non-atomic
+	// increment each). Publishes counts sibling candidate ranges made
+	// stealable, Steals counts tasks taken from a peer's deque, and
+	// IdleSpins counts scans that found no work anywhere — together they
+	// describe how much rebalancing a run needed and whether workers
+	// starved.
+	Publishes uint64
+	Steals    uint64
+	IdleSpins uint64
 }
 
 func (s *Stats) add(o Stats) {
@@ -182,6 +205,9 @@ func (s *Stats) add(o Stats) {
 	s.RedundantProfileVertices += o.RedundantProfileVertices
 	s.GenTime += o.GenTime
 	s.ValTime += o.ValTime
+	s.Publishes += o.Publishes
+	s.Steals += o.Steals
+	s.IdleSpins += o.IdleSpins
 }
 
 // Result reports one mining run.
@@ -226,16 +252,12 @@ func Mine(store *dal.Store, p *pattern.Pattern, opts Options) (Result, error) {
 
 // dataAwareOrder scores each pattern hyperedge by the number of data
 // hyperedges sharing its degree (the candidate pool of the first step) and
-// orders the most selective hyperedge first.
+// orders the most selective hyperedge first. The counts come straight from
+// the DAL's degree index — no hypergraph scan.
 func dataAwareOrder(store *dal.Store, p *pattern.Pattern) []int {
-	h := store.Hypergraph()
-	byDegree := map[int]int{}
-	for e := 0; e < h.NumEdges(); e++ {
-		byDegree[h.Degree(uint32(e))]++
-	}
 	sel := make([]int, p.NumEdges())
 	for i := range sel {
-		sel[i] = byDegree[p.Degree(i)]
+		sel[i] = store.NumEdgesWithDegree(p.Degree(i))
 	}
 	return p.MatchingOrderWithSelectivity(sel)
 }
@@ -273,43 +295,68 @@ func MineWithPlan(store *dal.Store, plan *oig.Plan, opts Options) (Result, error
 	}
 
 	e := &shared{store: store, plan: plan, opts: opts, kernel: kernel}
+	e.splitDepth, e.splitThreshold = splitParams(plan, opts)
 	if opts.UniqueOnly && opts.OnEmbedding != nil {
 		e.autoPerms = plan.Pattern.AutomorphismPerms()[1:]
 	}
 	start := time.Now()
 	if opts.Deadline > 0 {
-		e.deadline = start.Add(opts.Deadline)
+		// A single timer goroutine flips the shared flags; workers check them
+		// with one atomic load per candidate instead of calling time.Now on
+		// the hot path.
+		timer := time.AfterFunc(opts.Deadline, func() {
+			e.timedOut.Store(true)
+			e.stopped.Store(true)
+		})
+		defer timer.Stop()
 	}
 	first := e.firstCandidates()
 
 	if len(first) == 0 {
 		return Result{Automorphisms: plan.Pattern.Automorphisms(), Elapsed: time.Since(start), Plan: plan}, nil
 	}
-	if workers > len(first) {
-		workers = len(first)
-	}
 
-	var next atomic.Int64
 	var found atomic.Uint64
-	results := make([]*worker, workers)
+	var results []*worker
 	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
-		w := newWorker(e, &found)
-		results[wi] = w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := next.Add(1) - 1
-				if int(i) >= len(first) {
-					return
+	if opts.SplitDepth < 0 {
+		// Ablation baseline: the pre-scheduler first-level-only dynamic loop.
+		// Extra workers are useless beyond the first-level candidate count,
+		// and one skewed first-edge subtree serializes its worker.
+		if workers > len(first) {
+			workers = len(first)
+		}
+		results = make([]*worker, workers)
+		var next atomic.Int64
+		for wi := 0; wi < workers; wi++ {
+			w := newWorker(e, &found)
+			results[wi] = w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !e.stopped.Load() {
+					i := next.Add(1) - 1
+					if int(i) >= len(first) {
+						return
+					}
+					w.mineFrom(first[i])
 				}
-				if opts.Limit > 0 && found.Load() >= opts.Limit {
-					return
-				}
-				w.mineFrom(first[i])
-			}
-		}()
+			}()
+		}
+	} else {
+		sched := newScheduler(workers)
+		sched.seed(first)
+		results = make([]*worker, workers)
+		for wi := 0; wi < workers; wi++ {
+			w := newWorker(e, &found)
+			w.sched, w.id = sched, wi
+			results[wi] = w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w.run()
+			}()
+		}
 	}
 	wg.Wait()
 
@@ -320,23 +367,53 @@ func MineWithPlan(store *dal.Store, plan *oig.Plan, opts Options) (Result, error
 	}
 	for _, w := range results {
 		res.Ordered += w.count
-		res.Truncated = res.Truncated || w.truncated
 		res.Stats.add(w.stats)
 	}
-	if opts.Limit > 0 && found.Load() >= opts.Limit {
+	if e.timedOut.Load() || (opts.Limit > 0 && found.Load() >= opts.Limit) {
 		res.Truncated = true
 	}
 	res.Unique = res.Ordered / uint64(res.Automorphisms)
 	return res, nil
 }
 
-// shared is the read-only state every worker uses.
+// splitParams resolves the scheduling knobs: SplitDepth 0 means the default
+// two levels (clamped so the last position is never splittable — splitting
+// there publishes leaves, pure overhead), SplitThreshold 0 means the default.
+func splitParams(plan *oig.Plan, opts Options) (depth, threshold int) {
+	depth = opts.SplitDepth
+	if depth == 0 {
+		depth = defaultSplitDepth
+	}
+	if max := plan.Pattern.NumEdges() - 1; depth > max {
+		depth = max
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	threshold = opts.SplitThreshold
+	if threshold <= 0 {
+		threshold = defaultSplitThreshold
+	}
+	return depth, threshold
+}
+
+// shared is the per-run state every worker uses. Everything except the
+// cancellation flags is read-only during mining.
 type shared struct {
-	store    *dal.Store
-	plan     *oig.Plan
-	opts     Options
-	kernel   intset.Kernel
-	deadline time.Time // zero when no deadline
+	store  *dal.Store
+	plan   *oig.Plan
+	opts   Options
+	kernel intset.Kernel
+	// splitDepth/splitThreshold are the resolved scheduling knobs (see
+	// Options.SplitDepth / Options.SplitThreshold and splitParams).
+	splitDepth     int
+	splitThreshold int
+	// stopped is the shared cooperative-cancellation flag: set by the
+	// deadline timer and by the worker that reaches Limit, checked once per
+	// candidate by every worker (including thieves executing stolen tasks).
+	stopped atomic.Bool
+	// timedOut records that stopped was set by the deadline timer.
+	timedOut atomic.Bool
 	// autoPerms holds the non-identity automorphism permutations when
 	// UniqueOnly filtering is active.
 	autoPerms [][]int
@@ -357,7 +434,9 @@ func (e *shared) firstCandidates() []uint32 {
 	if e.plan.Labeled {
 		scratch = make([]int, h.NumLabels())
 	}
-	out := cands[:0]
+	// Filter into a fresh slice: cands may be the DAL's shared degree-index
+	// storage, which in-place filtering would corrupt for concurrent runs.
+	out := make([]uint32, 0, len(cands))
 	for _, c := range cands {
 		if st.EdgeLabel >= 0 && (!h.EdgeLabeled() || int64(h.EdgeLabel(c)) != st.EdgeLabel) {
 			continue

@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the work-stealing subtree scheduler. The paper's
+// engine (Sec. 4.4) distributes only the candidates of the first pattern
+// hyperedge over threads, which serializes a run whose work hangs off a few
+// skewed first-edge subtrees — the load imbalance HGMatch's dynamic task
+// splitting targets. Here every worker owns a bounded deque of subtree
+// tasks; near the top of the tree a busy worker publishes its untouched
+// sibling candidate ranges, and idle workers steal them instead of exiting,
+// so Workers > |first candidates| is useful and skew no longer serializes.
+//
+// DFS semantics are preserved: a task is a (prefix, candidate range)
+// continuation, and whoever executes it explores exactly the subtrees the
+// publisher would have explored, in the same per-subtree depth-first order.
+// Only the interleaving across subtrees changes, which the embedding counts
+// are invariant to.
+
+// task packages one stealable unit of work: continue the depth-first search
+// at matching-order position depth, binding each candidate in cands, with
+// the first depth positions already bound to prefix. Both slices are owned
+// by whatever structure holds the task (a deque slot or a worker's run
+// buffer) and are copied on every hand-off — worker scratch never crosses
+// goroutines.
+type task struct {
+	depth  int
+	prefix []uint32
+	cands  []uint32
+}
+
+const (
+	// defaultSplitDepth is the number of top tree levels at which sibling
+	// ranges are published (positions 0 and 1). Deeper subtrees are cheap
+	// enough that publication overhead outweighs the balance gain.
+	defaultSplitDepth = 2
+	// defaultSplitThreshold is the minimum remaining candidate count at a
+	// splittable level before half of it is worth publishing.
+	defaultSplitThreshold = 4
+	// dequeCap bounds each worker's deque; a full deque just means the
+	// worker keeps the remaining range for itself.
+	dequeCap = 32
+)
+
+// deque is a bounded work-stealing deque of tasks. The owner pushes and
+// pops at the tail (LIFO keeps the deepest, most cache-warm task local);
+// thieves take from the head (FIFO hands over the shallowest task, i.e. the
+// largest subtree, minimizing steal frequency). Publication is rare — only
+// near the root of the search tree — so a mutex per operation costs nothing
+// measurable, and every slot's buffers are reused across the run.
+type deque struct {
+	mu   sync.Mutex
+	ring [dequeCap]task
+	head uint64 // next slot a thief takes; tasks live in [head, tail)
+	tail uint64 // next free slot for the owner
+}
+
+// push copies (depth, prefix, cands) into the deque; it reports false when
+// the deque is full. Called only by the owning worker.
+func (d *deque) push(depth int, prefix, cands []uint32) bool {
+	d.mu.Lock()
+	if d.tail-d.head == dequeCap {
+		d.mu.Unlock()
+		return false
+	}
+	sl := &d.ring[d.tail%dequeCap]
+	sl.depth = depth
+	sl.prefix = append(sl.prefix[:0], prefix...)
+	sl.cands = append(sl.cands[:0], cands...)
+	d.tail++
+	d.mu.Unlock()
+	return true
+}
+
+// pop moves the most recently pushed task into dst (copying, so the slot
+// can be reused immediately). Called only by the owning worker.
+func (d *deque) pop(dst *task) bool {
+	d.mu.Lock()
+	if d.tail == d.head {
+		d.mu.Unlock()
+		return false
+	}
+	d.tail--
+	sl := &d.ring[d.tail%dequeCap]
+	dst.depth = sl.depth
+	dst.prefix = append(dst.prefix[:0], sl.prefix...)
+	dst.cands = append(dst.cands[:0], sl.cands...)
+	d.mu.Unlock()
+	return true
+}
+
+// steal moves the oldest task into dst. Called by other workers.
+func (d *deque) steal(dst *task) bool {
+	d.mu.Lock()
+	if d.tail == d.head {
+		d.mu.Unlock()
+		return false
+	}
+	sl := &d.ring[d.head%dequeCap]
+	dst.depth = sl.depth
+	dst.prefix = append(dst.prefix[:0], sl.prefix...)
+	dst.cands = append(dst.cands[:0], sl.cands...)
+	d.head++
+	d.mu.Unlock()
+	return true
+}
+
+// scheduler shares the deques and the termination state of one mining run.
+type scheduler struct {
+	deques []deque
+	// pending counts unfinished tasks: seeded root tasks plus every
+	// publication, decremented when a task's whole subtree is done. A task
+	// is counted before it becomes visible in any deque, so pending == 0
+	// proves no queued task exists and no running task can publish more —
+	// the termination condition for idle workers.
+	pending atomic.Int64
+}
+
+func newScheduler(workers int) *scheduler {
+	return &scheduler{deques: make([]deque, workers)}
+}
+
+// seed distributes the first-position candidates over the deques as
+// depth-0 tasks, one contiguous chunk per worker (stealing rebalances any
+// skew between the chunks afterwards).
+func (s *scheduler) seed(first []uint32) {
+	workers := len(s.deques)
+	chunks := workers
+	if chunks > len(first) {
+		chunks = len(first)
+	}
+	per := (len(first) + chunks - 1) / chunks
+	n := 0
+	for i := 0; i < len(first); i += per {
+		end := i + per
+		if end > len(first) {
+			end = len(first)
+		}
+		s.deques[n%workers].push(0, nil, first[i:end])
+		n++
+	}
+	s.pending.Store(int64(n))
+}
+
+// run is a worker's scheduling loop: drain the own deque, then steal from
+// peers, then spin briefly until new work is published or the run ends.
+// It is a hot-path root: nothing reachable from here may allocate in steady
+// state (deque hand-offs reuse slot and run buffers).
+//
+//ohmlint:hotpath
+func (w *worker) run() {
+	s := w.sched
+	own := &s.deques[w.id]
+	backoff := 0
+	for {
+		if w.e.stopped.Load() {
+			return
+		}
+		if own.pop(&w.task) || w.trySteal() {
+			backoff = 0
+			w.runTask()
+			s.pending.Add(-1)
+			continue
+		}
+		if s.pending.Load() == 0 {
+			return
+		}
+		w.stats.IdleSpins++
+		if backoff++; backoff > 16 {
+			time.Sleep(20 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// trySteal scans the peers round-robin starting after the own deque and
+// copies the first available task into the worker's run buffer.
+func (w *worker) trySteal() bool {
+	s := w.sched
+	n := len(s.deques)
+	for k := 1; k < n; k++ {
+		if s.deques[(w.id+k)%n].steal(&w.task) {
+			w.stats.Steals++
+			return true
+		}
+	}
+	return false
+}
+
+// runTask executes the task in the worker's run buffer: rebind the prefix,
+// rebuild the overlap slots the prefix's validation produced (stolen tasks
+// arrive without the publisher's scratch state), and explore the candidate
+// range.
+func (w *worker) runTask() {
+	t := &w.task
+	copy(w.c[:t.depth], t.prefix)
+	if t.depth > 1 && w.e.opts.Val != ValProfiles {
+		w.rebuildSlots(t.depth)
+	}
+	w.explore(t.depth, t.cands)
+}
+
+// rebuildSlots re-executes the slot-materializing operations of steps
+// 1..depth-1 so that operations at and beyond depth can resolve their slot
+// operands. The prefix already passed validation, so only the intersections
+// that write slots need re-running — checks are skipped.
+func (w *worker) rebuildSlots(depth int) {
+	kernel := w.e.kernel
+	for t := 1; t < depth; t++ {
+		ops := w.e.plan.Steps[t].Ops
+		for i := range ops {
+			op := &ops[i]
+			if op.Out < 0 {
+				continue
+			}
+			w.stats.SetOps++
+			w.slots[op.Out] = kernel.Intersect(w.resolve(op.A), w.resolve(op.B), w.slots[op.Out][:0])
+		}
+	}
+}
+
+// publish copies the current prefix and an untouched sibling candidate
+// range into the worker's own deque for thieves; it reports false when the
+// deque is full (the caller then keeps the range).
+func (w *worker) publish(depth int, rest []uint32) bool {
+	s := w.sched
+	// Count the task before it becomes stealable so pending never
+	// undercounts (see scheduler.pending).
+	s.pending.Add(1)
+	if !s.deques[w.id].push(depth, w.c[:depth], rest) {
+		s.pending.Add(-1)
+		return false
+	}
+	w.stats.Publishes++
+	return true
+}

@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"ohminer/internal/dal"
+	"ohminer/internal/hypergraph"
+	"ohminer/internal/oig"
+	"ohminer/internal/pattern"
+)
+
+// skewedInput builds the adversarial case for first-level-only scheduling: a
+// chain pattern pe0–pe1–pe2 whose first step has exactly ONE data candidate
+// (a unique degree-5 hub), so the old scheduler clamps every run to one
+// worker. All fan² embeddings hang off that single first-edge subtree; only
+// subtree stealing below the root can parallelize them.
+//
+// Data hypergraph:
+//
+//	hub  = {0..4}            the only degree-5 hyperedge
+//	A_i  = {4, 10+i}         fan edges sharing hub vertex 4
+//	B_ij = {10+i, base+i*fan+j}  second-level fan per A_i, disjoint from hub
+func skewedInput(t *testing.T, fan int) (*dal.Store, *oig.Plan) {
+	t.Helper()
+	edges := [][]uint32{{0, 1, 2, 3, 4}}
+	base := uint32(1000)
+	for i := 0; i < fan; i++ {
+		edges = append(edges, []uint32{4, uint32(10 + i)})
+	}
+	for i := 0; i < fan; i++ {
+		for j := 0; j < fan; j++ {
+			edges = append(edges, []uint32{uint32(10 + i), base + uint32(i*fan+j)})
+		}
+	}
+	h := hypergraph.MustBuild(int(base)+fan*fan, edges, nil)
+	p := pattern.MustNew([][]uint32{{0, 1, 2, 3, 4}, {4, 5}, {5, 6}}, nil)
+	// Pin the matching order to pattern index order so pe0 (the hub) is the
+	// first step regardless of structural ordering heuristics.
+	plan, err := oig.CompileOrdered(p, oig.ModeMerged, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dal.Build(h), plan
+}
+
+// TestDequeSemantics pins the deque contract: owner pops LIFO, thieves steal
+// FIFO, a full deque rejects pushes, and every hand-off is a copy.
+func TestDequeSemantics(t *testing.T) {
+	var d deque
+	src := []uint32{1, 2, 3}
+	if !d.push(1, []uint32{9}, src) {
+		t.Fatal("push into empty deque failed")
+	}
+	// The deque must have copied: mutating the source after push is safe.
+	src[0] = 77
+	if !d.push(2, []uint32{9, 8}, []uint32{4, 5}) {
+		t.Fatal("second push failed")
+	}
+
+	var tk task
+	if !d.steal(&tk) || tk.depth != 1 || tk.cands[0] != 1 {
+		t.Fatalf("steal got depth=%d cands=%v, want the oldest task (1, [1 2 3])", tk.depth, tk.cands)
+	}
+	if !d.pop(&tk) || tk.depth != 2 || len(tk.prefix) != 2 {
+		t.Fatalf("pop got depth=%d prefix=%v, want the newest task", tk.depth, tk.prefix)
+	}
+	if d.pop(&tk) || d.steal(&tk) {
+		t.Fatal("empty deque yielded a task")
+	}
+
+	for i := 0; i < dequeCap; i++ {
+		if !d.push(0, nil, []uint32{uint32(i)}) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if d.push(0, nil, []uint32{99}) {
+		t.Fatal("push into full deque succeeded")
+	}
+	// FIFO steal order across the whole ring.
+	for i := 0; i < dequeCap; i++ {
+		if !d.steal(&tk) || tk.cands[0] != uint32(i) {
+			t.Fatalf("steal %d got %v", i, tk.cands)
+		}
+	}
+}
+
+// TestStealingDeterministic is the acceptance criterion for the scheduler:
+// on the skewed input (one first-level candidate), Result.Ordered must be
+// identical for 1, 4, and 16 workers with stealing active, and must match
+// the legacy first-level-only scheduler. Run under -race this also checks
+// the publish/steal hand-off for data races.
+func TestStealingDeterministic(t *testing.T) {
+	store, plan := skewedInput(t, 24)
+	want := uint64(24 * 24)
+
+	for _, v := range Variants() {
+		if v.Val == ValOverlapSimple {
+			continue // needs a simple-mode plan; covered by TestWorkerPoolDeterministic
+		}
+		legacy, err := MineWithPlan(store, plan, Options{Gen: v.Gen, Val: v.Val, Workers: 4, SplitDepth: -1})
+		if err != nil {
+			t.Fatalf("%s legacy: %v", v.Name, err)
+		}
+		if legacy.Ordered != want {
+			t.Fatalf("%s legacy: Ordered=%d want %d", v.Name, legacy.Ordered, want)
+		}
+		for _, workers := range []int{1, 4, 16} {
+			res, err := MineWithPlan(store, plan, Options{
+				Gen: v.Gen, Val: v.Val, Workers: workers, SplitThreshold: 2,
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", v.Name, workers, err)
+			}
+			if res.Ordered != want || res.Truncated {
+				t.Errorf("%s workers=%d: Ordered=%d truncated=%v, want %d/false",
+					v.Name, workers, res.Ordered, res.Truncated, want)
+			}
+			// Publication is deterministic (it depends only on the split
+			// policy, not on timing); steals are not — on a single-CPU host
+			// the owner can drain its own deque before a thief runs, so the
+			// end-to-end steal check lives in TestStealOccurs.
+			if res.Stats.Publishes == 0 {
+				t.Errorf("%s workers=%d: no publications on the skewed input", v.Name, workers)
+			}
+		}
+	}
+}
+
+// TestStealOccurs checks the full publish→steal→resume path end to end on
+// the skewed input. Whether a steal happens in any single run is a scheduling
+// race (on one CPU the owner can pop every task it published before a thief
+// is ever scheduled), so the run yields after each embedding to hand thieves
+// the CPU and retries a bounded number of times; the counts of every attempt
+// are still verified.
+func TestStealOccurs(t *testing.T) {
+	store, plan := skewedInput(t, 24)
+	want := uint64(24 * 24)
+	for attempt := 0; attempt < 50; attempt++ {
+		res, err := MineWithPlan(store, plan, Options{
+			Workers: 8, SplitThreshold: 2,
+			OnEmbedding: func([]uint32) { runtime.Gosched() },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ordered != want {
+			t.Fatalf("attempt %d: Ordered=%d want %d", attempt, res.Ordered, want)
+		}
+		if res.Stats.Steals > 0 {
+			return
+		}
+	}
+	t.Fatal("no steal observed in 50 runs on the skewed input with 8 workers")
+}
+
+// TestStealingMatchesRandom cross-checks stealing against the legacy
+// scheduler on random inputs, with an aggressive split threshold so
+// publication happens even on small candidate lists.
+func TestStealingMatchesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		h := randHypergraph(rng, trial%2 == 1)
+		store := dal.Build(h)
+		p, err := pattern.Sample(h, 2+rng.Intn(3), 2, 30, rng)
+		if err != nil {
+			continue
+		}
+		for _, v := range Variants() {
+			legacy, err := Mine(store, p, Options{Gen: v.Gen, Val: v.Val, Workers: 4, SplitDepth: -1})
+			if err != nil {
+				t.Fatalf("trial %d %s legacy: %v", trial, v.Name, err)
+			}
+			steal, err := Mine(store, p, Options{Gen: v.Gen, Val: v.Val, Workers: 8, SplitDepth: 3, SplitThreshold: 1})
+			if err != nil {
+				t.Fatalf("trial %d %s steal: %v", trial, v.Name, err)
+			}
+			if steal.Ordered != legacy.Ordered || steal.Unique != legacy.Unique {
+				t.Errorf("trial %d %s: stealing ordered/unique = %d/%d, legacy %d/%d",
+					trial, v.Name, steal.Ordered, steal.Unique, legacy.Ordered, legacy.Unique)
+			}
+		}
+	}
+}
+
+// TestLimitUnderStealing checks cooperative cancellation through the shared
+// stop flag: a Limit must truncate the run even when the embeddings are
+// found by workers mining stolen subtrees.
+func TestLimitUnderStealing(t *testing.T) {
+	store, plan := skewedInput(t, 24)
+	total := uint64(24 * 24)
+	for _, workers := range []int{1, 8} {
+		res, err := MineWithPlan(store, plan, Options{
+			Workers: workers, Limit: 10, SplitThreshold: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Truncated {
+			t.Errorf("workers=%d: limit run not marked truncated", workers)
+		}
+		if res.Ordered < 10 {
+			t.Errorf("workers=%d: Ordered=%d below limit 10", workers, res.Ordered)
+		}
+		if res.Ordered == total {
+			t.Errorf("workers=%d: limit did not stop the run (Ordered=%d)", workers, res.Ordered)
+		}
+	}
+}
+
+// TestDeadlineUnderStealing checks that the deadline timer's shared flag
+// stops workers mid-subtree. The OnEmbedding callback throttles emission so
+// the run cannot finish before the timer fires.
+func TestDeadlineUnderStealing(t *testing.T) {
+	store, plan := skewedInput(t, 24)
+	total := uint64(24 * 24)
+	res, err := MineWithPlan(store, plan, Options{
+		Workers: 8, SplitThreshold: 2, Deadline: 30 * time.Millisecond,
+		OnEmbedding: func([]uint32) { time.Sleep(time.Millisecond) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("deadline run not marked truncated")
+	}
+	if res.Ordered >= total {
+		t.Errorf("deadline did not stop the run (Ordered=%d of %d)", res.Ordered, total)
+	}
+}
+
+// TestSchedulerSeed pins the seeding layout: candidates are split into at
+// most one contiguous chunk per worker and pending counts the chunks.
+func TestSchedulerSeed(t *testing.T) {
+	// 5 candidates over 4 workers: ceil(5/4) = 2 per chunk → 3 chunks.
+	s := newScheduler(4)
+	s.seed([]uint32{1, 2, 3, 4, 5})
+	if got := s.pending.Load(); got != 3 {
+		t.Fatalf("pending=%d after seeding 5 candidates over 4 workers, want 3 chunks", got)
+	}
+	var seen []uint32
+	var tk task
+	for i := range s.deques {
+		for s.deques[i].pop(&tk) {
+			if tk.depth != 0 || len(tk.prefix) != 0 {
+				t.Fatalf("seeded task depth=%d prefix=%v", tk.depth, tk.prefix)
+			}
+			seen = append(seen, tk.cands...)
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("seeded candidates %v, want all 5", seen)
+	}
+
+	// More workers than candidates: one single-candidate task each.
+	s = newScheduler(16)
+	s.seed([]uint32{7, 8})
+	if got := s.pending.Load(); got != 2 {
+		t.Fatalf("pending=%d after seeding 2 candidates over 16 workers", got)
+	}
+}

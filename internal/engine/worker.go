@@ -22,6 +22,12 @@ type worker struct {
 	e     *shared
 	found *atomic.Uint64
 
+	// sched/id attach the worker to a work-stealing run (scheduler.go);
+	// both stay zero for standalone workers (EstimateCount, legacy mode).
+	sched *scheduler
+	id    int
+	task  task // run buffer: deque hand-offs are copied in here
+
 	c     []uint32   // bound hyperedge IDs, c[0..t]
 	cand  [][]uint32 // candidate list buffer per step
 	tmp   [][]uint32 // ping-pong buffer for progressive intersections
@@ -37,11 +43,9 @@ type worker struct {
 	profCount    map[uint64]int
 	adjLists     [][]uint32 // scratch: adjacency groups per generation
 
-	count     uint64
-	stop      bool
-	truncated bool
-	tick      uint32 // deadline check divider
-	stats     Stats
+	count uint64
+	stop  bool // local mirror of shared.stopped, avoids repeat atomic loads while unwinding
+	stats Stats
 }
 
 func newWorker(e *shared, found *atomic.Uint64) *worker {
@@ -116,35 +120,61 @@ func (w *worker) step(t int) {
 		w.stats.GenTime += time.Since(t0)
 		w.stats.Candidates += uint64(len(cands))
 	}
+	w.explore(t, cands)
+}
+
+// explore iterates the candidates of position t — generated in place by
+// step, or handed over in a task. While the position is shallow enough to
+// matter (t < splitDepth) and enough candidates remain, the untouched half
+// of the range is published for idle workers to steal; the published copy
+// and the retained half partition the range, so each subtree is explored
+// exactly once regardless of who executes it.
+func (w *worker) explore(t int, cands []uint32) {
 	last := t == w.e.plan.Pattern.NumEdges()-1
-	for _, c := range cands {
+	instrument := w.e.opts.Instrument
+	var t0 time.Time
+	for i := 0; i < len(cands); i++ {
 		if w.stop {
 			return
 		}
-		// Deadline polling: amortize the clock read over many candidates.
-		if !w.e.deadline.IsZero() {
-			if w.tick++; w.tick&1023 == 0 && time.Now().After(w.e.deadline) {
-				w.stop = true
-				w.truncated = true
-				return
+		// Shared cooperative cancellation: the deadline timer and the
+		// Limit both set one flag, checked with a single atomic load per
+		// candidate at every depth (stealing workers included).
+		if w.e.stopped.Load() {
+			w.stop = true
+			return
+		}
+		if w.sched != nil && t < w.e.splitDepth {
+			if rem := len(cands) - i; rem >= 2*w.e.splitThreshold {
+				mid := i + rem/2
+				if w.publish(t, cands[mid:]) {
+					cands = cands[:mid]
+				}
 			}
 		}
-		if !w.accept(t, c) {
-			continue
-		}
-		w.c[t] = c
-		if instrument {
-			t0 = time.Now()
-		}
-		ok := w.validate(t)
-		if instrument {
-			w.stats.ValTime += time.Since(t0)
-		}
-		if !ok {
-			continue
-		}
-		if instrument {
-			w.stats.Embeddings++
+		c := cands[i]
+		if t > 0 {
+			if !w.accept(t, c) {
+				continue
+			}
+			w.c[t] = c
+			if instrument {
+				t0 = time.Now()
+			}
+			ok := w.validate(t)
+			if instrument {
+				w.stats.ValTime += time.Since(t0)
+			}
+			if !ok {
+				continue
+			}
+			if instrument {
+				w.stats.Embeddings++
+			}
+		} else {
+			// Position 0 has no validation ops: firstCandidates already
+			// enforced the degree/label constraints.
+			w.c[0] = c
 		}
 		if last {
 			w.emit()
@@ -164,6 +194,9 @@ func (w *worker) emit() {
 	}
 	if w.e.opts.Limit > 0 && w.found.Add(1) >= w.e.opts.Limit {
 		w.stop = true
+		// Cooperative cancellation: peers (including workers busy with
+		// stolen subtrees) observe the flag at their next candidate.
+		w.e.stopped.Store(true)
 	}
 }
 
@@ -250,6 +283,12 @@ func (w *worker) validateOverlaps(t int) bool {
 				return false
 			}
 			if op.LabelWant != nil && !vertLabelsMatch(h, out, op.LabelWant, w.labelScratch) {
+				return false
+			}
+		case oig.OpIntersectCount:
+			b := w.resolve(op.B)
+			w.stats.SetOps++
+			if kernel.IntersectCount(a, b) != op.Want {
 				return false
 			}
 		case oig.OpIntersectEq:

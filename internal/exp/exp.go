@@ -37,6 +37,9 @@ type RunOpts struct {
 	// that completed, and compared systems are aligned on the common
 	// prefix (0 = unbounded).
 	CellBudget time.Duration
+	// Recorder, when non-nil, additionally captures every measured cell as
+	// a machine-readable CellRecord (ohmbench -json).
+	Recorder *Recorder
 }
 
 // Experiment regenerates one table or figure.
@@ -62,7 +65,7 @@ func Experiments() []Experiment {
 }
 
 func expOrder(id string) int {
-	order := []string{"fig3", "fig12", "table5", "fig13", "fig14", "fig15", "fig16", "fig17a", "fig17b", "table6"}
+	order := []string{"fig3", "fig12", "table5", "fig13", "fig14", "fig15", "fig16", "fig17a", "fig17b", "table6", "sched"}
 	for i, x := range order {
 		if x == id {
 			return i

@@ -85,6 +85,22 @@ func mineSet(store *dal.Store, pats []*pattern.Pattern, v engine.Variant, opts R
 		m.Stats.RedundantNMFetches += res.Stats.RedundantNMFetches
 		m.Stats.ProfileVertices += res.Stats.ProfileVertices
 		m.Stats.RedundantProfileVertices += res.Stats.RedundantProfileVertices
+		m.Stats.Publishes += res.Stats.Publishes
+		m.Stats.Steals += res.Stats.Steals
+		m.Stats.IdleSpins += res.Stats.IdleSpins
+		if opts.Recorder != nil {
+			opts.Recorder.Record(CellRecord{
+				Variant:   v.Name,
+				Pattern:   fmt.Sprintf("#%d %s", i, p),
+				Workers:   opts.Workers,
+				Scheduler: "stealing",
+				ElapsedMs: float64(res.Elapsed) / float64(time.Millisecond),
+				Ordered:   res.Ordered,
+				Steals:    res.Stats.Steals,
+				Publishes: res.Stats.Publishes,
+				IdleSpins: res.Stats.IdleSpins,
+			})
+		}
 		counts = append(counts, res.Ordered)
 		if check != nil && i < len(check) && check[i] != res.Ordered {
 			return m, nil, fmt.Errorf("%s disagrees on pattern %d: %d vs %d embeddings",

@@ -44,7 +44,7 @@ func TestModeStrings(t *testing.T) {
 	if ModeSimple.String() != "simple" || ModeMerged.String() != "merged" {
 		t.Fatal("mode strings")
 	}
-	kinds := []OpKind{OpIntersect, OpIntersectEq, OpEmptyCheck, OpSubsetCheck, OpEqCheck}
+	kinds := []OpKind{OpIntersect, OpIntersectEq, OpEmptyCheck, OpSubsetCheck, OpEqCheck, OpIntersectCount}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

@@ -8,7 +8,8 @@ import (
 )
 
 // ExampleCompile compiles the paper's Figure 1(a) pattern and prints the
-// Table-1-style plan: two size-checked intersections plus one merged-node
+// Table-1-style plan: two size-checked intersections (one demoted to a
+// count-only check because nothing reads its output) plus one merged-node
 // equality check.
 func ExampleCompile() {
 	p := pattern.MustNew([][]uint32{
@@ -22,11 +23,11 @@ func ExampleCompile() {
 	}
 	ops := plan.NumOps()
 	fmt.Println("steps:", len(plan.Steps))
-	fmt.Println("intersections:", ops[oig.OpIntersect], "equality checks:", ops[oig.OpIntersectEq])
+	fmt.Println("intersections:", ops[oig.OpIntersect], "count-only:", ops[oig.OpIntersectCount], "equality checks:", ops[oig.OpIntersectEq])
 	fmt.Println("verified:", oig.Verify(plan) == nil)
 	// Output:
 	// steps: 3
-	// intersections: 2 equality checks: 1
+	// intersections: 1 count-only: 1 equality checks: 1
 	// verified: true
 }
 

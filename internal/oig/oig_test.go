@@ -100,14 +100,14 @@ func TestCompileFig1MergedPlan(t *testing.T) {
 	// Matching order puts pe3 (most connected + largest) first; regardless,
 	// the plan must contain exactly one OpIntersectEq (the merged overlap
 	// equality, Table 1's "c5 == c4") and two size-checked intersections
-	// ({pe1,pe2}-class rep and the {pe2,pe3} overlap) or an equivalent
-	// reduced form.
+	// ({pe1,pe2}-class rep and the {pe2,pe3} overlap). The {pe2,pe3} overlap
+	// is read by nothing, so the dead-slot pass demotes it to count-only.
 	ops := plan.NumOps()
 	if ops[OpIntersectEq] != 1 {
 		t.Fatalf("eq ops=%d want 1\n%s", ops[OpIntersectEq], plan)
 	}
-	if ops[OpIntersect] != 2 {
-		t.Fatalf("intersect ops=%d want 2\n%s", ops[OpIntersect], plan)
+	if ops[OpIntersect] != 1 || ops[OpIntersectCount] != 1 {
+		t.Fatalf("intersect ops=%d count-only=%d want 1/1\n%s", ops[OpIntersect], ops[OpIntersectCount], plan)
 	}
 	// Generation: step 0 unconstrained, steps 1,2 connected to all previous
 	// (the pattern is a triangle of overlaps).
@@ -127,10 +127,15 @@ func TestCompileFig1MergedPlan(t *testing.T) {
 func TestCompileSimpleChecksEverySubset(t *testing.T) {
 	p := fig1Pattern(t)
 	plan := MustCompile(p, ModeSimple)
-	// All four ≥2-subsets are non-empty → 4 OpIntersect, no eq/subset ops.
+	// All four ≥2-subsets are non-empty → 4 intersections, no eq/subset ops.
+	// The triple overlap and one pair feed no later op, so two of the four
+	// are count-only after the dead-slot pass.
 	ops := plan.NumOps()
-	if ops[OpIntersect] != 4 || ops[OpIntersectEq] != 0 || ops[OpSubsetCheck] != 0 {
+	if ops[OpIntersect]+ops[OpIntersectCount] != 4 || ops[OpIntersectEq] != 0 || ops[OpSubsetCheck] != 0 {
 		t.Fatalf("ops=%v\n%s", ops, plan)
+	}
+	if ops[OpIntersectCount] == 0 {
+		t.Fatalf("dead-slot pass demoted nothing: ops=%v\n%s", ops, plan)
 	}
 }
 
@@ -220,7 +225,7 @@ func checkPlanInvariants(t *testing.T, plan *Plan) {
 				t.Fatalf("step %d op %v: operand A unresolvable\n%s", step, op, plan)
 			}
 			switch op.Kind {
-			case OpIntersect, OpIntersectEq, OpEmptyCheck:
+			case OpIntersect, OpIntersectEq, OpEmptyCheck, OpIntersectCount:
 				if !resolvable(op.B, step) {
 					t.Fatalf("step %d op %v: operand B unresolvable\n%s", step, op, plan)
 				}
@@ -241,8 +246,8 @@ func checkPlanInvariants(t *testing.T, plan *Plan) {
 				}
 				written[op.Out] = true
 			}
-			if op.Kind == OpIntersect && op.Want <= 0 {
-				t.Fatalf("OpIntersect with Want=%d", op.Want)
+			if (op.Kind == OpIntersect || op.Kind == OpIntersectCount) && op.Want <= 0 {
+				t.Fatalf("%v with Want=%d", op.Kind, op.Want)
 			}
 			if op.Mask == 0 || maxBit(op.Mask) > step && op.Kind != OpSubsetCheck {
 				t.Fatalf("step %d op mask %b", step, op.Mask)
@@ -264,8 +269,8 @@ func TestMergedNeverChecksMore(t *testing.T) {
 		}
 		simple := MustCompile(p, ModeSimple).NumOps()
 		merged := MustCompile(p, ModeMerged).NumOps()
-		sTotal := simple[OpIntersect] + simple[OpIntersectEq]
-		mTotal := merged[OpIntersect] + merged[OpIntersectEq]
+		sTotal := simple[OpIntersect] + simple[OpIntersectCount] + simple[OpIntersectEq]
+		mTotal := merged[OpIntersect] + merged[OpIntersectCount] + merged[OpIntersectEq]
 		if mTotal > sTotal {
 			t.Fatalf("merged emits %d intersections vs simple %d for %s", mTotal, sTotal, p)
 		}

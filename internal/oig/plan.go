@@ -58,9 +58,13 @@ const (
 	// computing an intersection (a pattern hyperedge whose vertex set
 	// coincides with an overlap).
 	OpEqCheck
+	// OpIntersectCount requires |A ∩ B| == Want without materializing the
+	// overlap — emitted by the compiler's dead-slot pass for intersections
+	// whose output no later operation reads (Out is -1).
+	OpIntersectCount
 )
 
-var opNames = [...]string{"intersect", "intersect-eq", "empty", "subset", "eq"}
+var opNames = [...]string{"intersect", "intersect-eq", "empty", "subset", "eq", "intersect-count"}
 
 func (k OpKind) String() string { return opNames[k] }
 
@@ -206,8 +210,89 @@ func CompileOrdered(p *pattern.Pattern, mode Mode, order []int) (*Plan, error) {
 	default:
 		return nil, fmt.Errorf("oig: unknown mode %d", mode)
 	}
+	plan.optimizeCountOnly()
 	plan.CompileTime = time.Since(start)
 	return plan, nil
+}
+
+// optimizeCountOnly rewrites every OpIntersect whose output slot no later
+// operation reads into OpIntersectCount: the engine then checks the overlap
+// size with Kernel.IntersectCount instead of materializing the vertices into
+// a worker buffer. Intersections with a label-histogram check keep their
+// output (the histogram is computed over the materialized overlap), as does
+// every OpIntersectEq (the equality comparison needs the result set).
+// Afterwards the surviving slots are compacted so NumSlots reflects the
+// buffers a worker actually needs.
+func (p *Plan) optimizeCountOnly() {
+	read := make([]bool, p.NumSlots)
+	markRead := func(o Operand) {
+		if !o.Edge {
+			read[o.Pos] = true
+		}
+	}
+	for si := range p.Steps {
+		for oi := range p.Steps[si].Ops {
+			op := &p.Steps[si].Ops[oi]
+			markRead(op.A)
+			switch op.Kind {
+			case OpIntersect, OpIntersectEq, OpEmptyCheck, OpSubsetCheck:
+				markRead(op.B)
+			}
+			switch op.Kind {
+			case OpIntersectEq, OpEqCheck:
+				markRead(op.Eq)
+			}
+		}
+	}
+
+	// Convert dead-output intersections, then renumber surviving slots in
+	// first-write order.
+	remap := make([]int, p.NumSlots)
+	for i := range remap {
+		remap[i] = -1
+	}
+	slots := 0
+	for si := range p.Steps {
+		for oi := range p.Steps[si].Ops {
+			op := &p.Steps[si].Ops[oi]
+			if op.Kind == OpIntersect && !read[op.Out] && op.LabelWant == nil {
+				op.Kind = OpIntersectCount
+				op.Out = -1
+				continue
+			}
+			if (op.Kind == OpIntersect || op.Kind == OpIntersectEq) && remap[op.Out] < 0 {
+				remap[op.Out] = slots
+				slots++
+			}
+		}
+	}
+	if slots == p.NumSlots {
+		return
+	}
+	reslot := func(o Operand) Operand {
+		if !o.Edge {
+			o.Pos = remap[o.Pos]
+		}
+		return o
+	}
+	for si := range p.Steps {
+		for oi := range p.Steps[si].Ops {
+			op := &p.Steps[si].Ops[oi]
+			op.A = reslot(op.A)
+			switch op.Kind {
+			case OpIntersect, OpIntersectEq, OpEmptyCheck, OpSubsetCheck, OpIntersectCount:
+				op.B = reslot(op.B)
+			}
+			switch op.Kind {
+			case OpIntersectEq, OpEqCheck:
+				op.Eq = reslot(op.Eq)
+			}
+			if op.Kind == OpIntersect || op.Kind == OpIntersectEq {
+				op.Out = remap[op.Out]
+			}
+		}
+	}
+	p.NumSlots = slots
 }
 
 // MustCompile is Compile that panics on error.
@@ -362,6 +447,8 @@ func (p *Plan) String() string {
 				fmt.Fprintf(&b, "  %s ⊆ %s  (mask %b)\n", op.A, op.B, op.Mask)
 			case OpEqCheck:
 				fmt.Fprintf(&b, "  %s == %s  (mask %b)\n", op.A, op.Eq, op.Mask)
+			case OpIntersectCount:
+				fmt.Fprintf(&b, "  |%s ∩ %s| = %d  (mask %b)\n", op.A, op.B, op.Want, op.Mask)
 			}
 		}
 	}

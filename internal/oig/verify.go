@@ -77,7 +77,7 @@ func Verify(p *Plan) error {
 				return fmt.Errorf("oig: step %d op %d (%s): A: %v", t, i, op.Kind, err)
 			}
 			switch op.Kind {
-			case OpIntersect, OpIntersectEq, OpEmptyCheck, OpSubsetCheck:
+			case OpIntersect, OpIntersectEq, OpEmptyCheck, OpSubsetCheck, OpIntersectCount:
 				if err := resolvable(op.B, t); err != nil {
 					return fmt.Errorf("oig: step %d op %d (%s): B: %v", t, i, op.Kind, err)
 				}
@@ -94,10 +94,16 @@ func Verify(p *Plan) error {
 					return fmt.Errorf("oig: step %d op %d: out slot %d", t, i, op.Out)
 				}
 				written[op.Out] = true
-				if op.Kind == OpIntersect && op.Want != p.Sig.Size(op.Mask) {
+			}
+			switch op.Kind {
+			case OpIntersect, OpIntersectCount:
+				if op.Want != p.Sig.Size(op.Mask) {
 					return fmt.Errorf("oig: step %d op %d: want %d != sig %d for mask %b",
 						t, i, op.Want, p.Sig.Size(op.Mask), op.Mask)
 				}
+			}
+			if op.Kind == OpIntersectCount && op.Out != -1 {
+				return fmt.Errorf("oig: step %d op %d: count-only op has out slot %d", t, i, op.Out)
 			}
 			opByMask[op.Mask] = true
 		}
