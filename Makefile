@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples fmt fmt-check vet lint ci clean
+.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples serve-smoke fmt fmt-check vet lint ci clean
 
 all: build test lint
 
@@ -47,6 +47,13 @@ examples:
 	$(GO) run ./examples/contagion
 	$(GO) run ./examples/streaming
 
+# End-to-end drill for the ohmserve query service: builds the binary,
+# starts it on a generated hypergraph, answers a query over HTTP, then
+# SIGTERMs it with a query in flight and asserts a clean drain. Runs
+# race-instrumented.
+serve-smoke:
+	$(GO) test -race -count=1 -run TestServeSmoke ./cmd/ohmserve
+
 fmt:
 	gofmt -w .
 
@@ -60,8 +67,9 @@ vet:
 lint:
 	$(GO) run ./cmd/ohmlint ./...
 
-# The full local gate: formatting, vet, ohmlint, then the race-enabled tests.
-ci: fmt-check vet lint race
+# The full local gate: formatting, vet, ohmlint, the race-enabled tests,
+# and the ohmserve end-to-end smoke.
+ci: fmt-check vet lint race serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ohminer/internal/cliio"
@@ -45,8 +49,19 @@ func run() error {
 		showPlan = flag.Bool("plan", false, "print the compiled execution plan")
 		verbose  = flag.Bool("v", false, "print embeddings (hyperedge IDs in matching order)")
 		estimate = flag.Float64("estimate", 0, "approximate the count by mining this fraction (0,1) of first-edge subtrees")
+		timeout  = flag.Duration("timeout", 0, "cancel mining after this long and report the partial counts (0 = none)")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the run through the engine's context path:
+	// partial counts are reported instead of the process dying mid-mine.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	// Results go to stdout through an error-latching writer: a broken
 	// pipe or full disk must fail the run, not truncate it silently.
@@ -121,9 +136,12 @@ func run() error {
 			est.Elapsed.Round(time.Microsecond))
 		return out.Close()
 	}
-	res, err := engine.Mine(store, p, opts)
+	res, err := engine.MineContext(ctx, store, p, opts)
 	if err != nil {
-		return err
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ohminer: %v — partial counts follow\n", err)
 	}
 	if *showPlan {
 		fmt.Fprintf(os.Stderr, "%s", res.Plan)

@@ -1,0 +1,129 @@
+// Command ohmserve runs the OHMiner query service: an HTTP server that
+// answers hypergraph-pattern-mining queries over one data hypergraph,
+// with plan caching, per-request timeouts/limits, admission control,
+// expvar metrics, pprof, and graceful drain on SIGINT/SIGTERM.
+//
+//	ohmserve -dataset SB -addr :8080
+//	ohmserve -input data.hg -max-concurrent 16 -timeout 5s
+//
+//	curl -s localhost:8080/query -d '{"pattern": "0 1 2; 2 3 4"}'
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/debug/vars
+//
+// On SIGINT/SIGTERM the listener closes immediately, in-flight queries
+// drain (each bounded by its own deadline) up to -drain, and anything
+// still running after that is cancelled through the engine's context
+// path before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ohminer"
+	"ohminer/internal/gen"
+	"ohminer/internal/hypergraph"
+	"ohminer/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ohmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		input      = flag.String("input", "", "data hypergraph file (text format)")
+		dataset    = flag.String("dataset", "", "generate a Table 3 preset instead of reading a file (CH,CP,SB,HB,WT,TC,CD,AM,SYN)")
+		maxConc    = flag.Int("max-concurrent", 0, "queries mining at once before admission queues (0 = 2×GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "default per-query timeout (requests may lower or raise it up to -max-timeout)")
+		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "cap on per-request timeouts")
+		maxLimit   = flag.Uint64("max-limit", 0, "cap on per-request embedding limits (0 = uncapped)")
+		workers    = flag.Int("workers", 0, "engine workers per query (0 = GOMAXPROCS)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight queries")
+		debugDelay = flag.Duration("debug-delay", 0, "inject artificial latency per query (drain/smoke testing only)")
+	)
+	flag.Parse()
+
+	var (
+		h   *hypergraph.Hypergraph
+		err error
+	)
+	switch {
+	case *input != "" && *dataset != "":
+		return fmt.Errorf("-input and -dataset are mutually exclusive")
+	case *input != "":
+		h, err = hypergraph.Load(*input)
+	case *dataset != "":
+		var p gen.Preset
+		if p, err = gen.PresetByTag(*dataset); err == nil {
+			h, err = gen.Generate(p.Config)
+		}
+	default:
+		return fmt.Errorf("need -input FILE or -dataset TAG")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "ohmserve: data:", h)
+
+	store := ohminer.NewStore(h)
+	fmt.Fprintf(os.Stderr, "ohmserve: dal built in %v (%.1f MB)\n",
+		store.BuildTime().Round(time.Millisecond), float64(store.MemoryBytes())/(1<<20))
+
+	srv := serve.New(ohminer.NewSession(store), serve.Config{
+		MaxConcurrent:  *maxConc,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxLimit:       *maxLimit,
+		Workers:        *workers,
+		DebugDelay:     *debugDelay,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The smoke test parses this line to discover the port chosen for :0.
+	fmt.Fprintf(os.Stderr, "ohmserve: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintf(os.Stderr, "ohmserve: shutting down, draining in-flight queries (budget %v)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		// Drain budget exceeded: cancel the miners through the engine's
+		// context path, then close the remaining connections.
+		fmt.Fprintln(os.Stderr, "ohmserve: drain budget exceeded, cancelling in-flight queries")
+		srv.Abort()
+		if cerr := hs.Close(); cerr != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return cerr
+		}
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "ohmserve: drained cleanly, bye")
+	return nil
+}

@@ -19,9 +19,11 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,8 +132,9 @@ type Options struct {
 	// reused and must be copied to retain.
 	OnEmbedding func([]uint32)
 	// Deadline aborts the exploration after roughly this duration (0 =
-	// none); the Result is then marked Truncated and undercounts. Used by
-	// the benchmark harness to bound combinatorially exploding cells.
+	// none); a run the deadline actually cut short is marked Truncated and
+	// undercounts. Used by the benchmark harness to bound combinatorially
+	// exploding cells.
 	Deadline time.Duration
 	// UniqueOnly filters OnEmbedding to one canonical tuple per unordered
 	// embedding: the callback fires only when the tuple is the
@@ -222,8 +225,11 @@ type Result struct {
 	Automorphisms int
 	// Elapsed is the wall-clock mining time (excluding plan compilation).
 	Elapsed time.Duration
-	// Truncated reports that the run hit Options.Deadline (or Limit) and
-	// Ordered undercounts.
+	// Truncated reports that exploration stopped before exhausting the
+	// search space — a worker observed the stop flag (Limit reached,
+	// Deadline fired, or context cancelled) while unexplored work remained
+	// — so Ordered may undercount. A run that reaches Limit on its very
+	// last embedding explored everything and is NOT truncated.
 	Truncated bool
 	Stats     Stats
 	Plan      *oig.Plan
@@ -231,6 +237,13 @@ type Result struct {
 
 // Mine compiles the appropriate plan for the options and runs it.
 func Mine(store *dal.Store, p *pattern.Pattern, opts Options) (Result, error) {
+	return MineContext(context.Background(), store, p, opts)
+}
+
+// MineContext is Mine with caller-controlled cancellation: when ctx is
+// cancelled mid-run the workers unwind cooperatively and the call returns
+// the partial Result accumulated so far together with ctx.Err().
+func MineContext(ctx context.Context, store *dal.Store, p *pattern.Pattern, opts Options) (Result, error) {
 	mode := oig.ModeMerged
 	if opts.Val == ValOverlapSimple {
 		mode = oig.ModeSimple
@@ -247,7 +260,7 @@ func Mine(store *dal.Store, p *pattern.Pattern, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return MineWithPlan(store, plan, opts)
+	return MineWithPlanContext(ctx, store, plan, opts)
 }
 
 // dataAwareOrder scores each pattern hyperedge by the number of data
@@ -266,6 +279,15 @@ func dataAwareOrder(store *dal.Store, p *pattern.Pattern) []int {
 // validation mode (merged for ValOverlap, simple for ValOverlapSimple;
 // ValProfiles accepts either).
 func MineWithPlan(store *dal.Store, plan *oig.Plan, opts Options) (Result, error) {
+	return MineWithPlanContext(context.Background(), store, plan, opts)
+}
+
+// MineWithPlanContext is MineWithPlan with caller-controlled cancellation.
+// The ctx-done branch is merged into the engine's single shared stop flag,
+// so the mining hot path still pays exactly one atomic load per candidate
+// regardless of whether a deadline, a limit, or a context is in play. On
+// cancellation the partial Result is returned along with ctx.Err().
+func MineWithPlanContext(ctx context.Context, store *dal.Store, plan *oig.Plan, opts Options) (Result, error) {
 	switch opts.Val {
 	case ValOverlap:
 		if plan.Mode != oig.ModeMerged {
@@ -294,6 +316,10 @@ func MineWithPlan(store *dal.Store, plan *oig.Plan, opts Options) (Result, error
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
 	e := &shared{store: store, plan: plan, opts: opts, kernel: kernel}
 	e.splitDepth, e.splitThreshold = splitParams(plan, opts)
 	if opts.UniqueOnly && opts.OnEmbedding != nil {
@@ -301,24 +327,36 @@ func MineWithPlan(store *dal.Store, plan *oig.Plan, opts Options) (Result, error
 	}
 	start := time.Now()
 	if opts.Deadline > 0 {
-		// A single timer goroutine flips the shared flags; workers check them
+		// A single timer goroutine flips the shared flag; workers check it
 		// with one atomic load per candidate instead of calling time.Now on
 		// the hot path.
-		timer := time.AfterFunc(opts.Deadline, func() {
-			e.timedOut.Store(true)
-			e.stopped.Store(true)
-		})
+		timer := time.AfterFunc(opts.Deadline, func() { e.stopped.Store(true) })
 		defer timer.Stop()
+	}
+	if done := ctx.Done(); done != nil {
+		// The context watcher merges cancellation into the same stop flag
+		// the deadline and limit use — no extra hot-path check.
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-done:
+				e.stopped.Store(true)
+			case <-finished:
+			}
+		}()
 	}
 	first := e.firstCandidates()
 
 	if len(first) == 0 {
-		return Result{Automorphisms: plan.Pattern.Automorphisms(), Elapsed: time.Since(start), Plan: plan}, nil
+		return Result{Automorphisms: plan.Pattern.Automorphisms(), Elapsed: time.Since(start), Plan: plan}, ctx.Err()
 	}
 
 	var found atomic.Uint64
 	var results []*worker
 	var wg sync.WaitGroup
+	var next atomic.Int64
+	var sched *scheduler
 	if opts.SplitDepth < 0 {
 		// Ablation baseline: the pre-scheduler first-level-only dynamic loop.
 		// Extra workers are useless beyond the first-level candidate count,
@@ -327,13 +365,13 @@ func MineWithPlan(store *dal.Store, plan *oig.Plan, opts Options) (Result, error
 			workers = len(first)
 		}
 		results = make([]*worker, workers)
-		var next atomic.Int64
 		for wi := 0; wi < workers; wi++ {
 			w := newWorker(e, &found)
 			results[wi] = w
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer e.recoverWorker()
 				for !e.stopped.Load() {
 					i := next.Add(1) - 1
 					if int(i) >= len(first) {
@@ -344,7 +382,7 @@ func MineWithPlan(store *dal.Store, plan *oig.Plan, opts Options) (Result, error
 			}()
 		}
 	} else {
-		sched := newScheduler(workers)
+		sched = newScheduler(workers)
 		sched.seed(first)
 		results = make([]*worker, workers)
 		for wi := 0; wi < workers; wi++ {
@@ -354,11 +392,24 @@ func MineWithPlan(store *dal.Store, plan *oig.Plan, opts Options) (Result, error
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer e.recoverWorker()
 				w.run()
 			}()
 		}
 	}
 	wg.Wait()
+
+	// Work left behind after every worker exited is definitively skipped:
+	// unclaimed first-level candidates in the legacy loop, or published
+	// tasks no worker ever popped. (Work abandoned mid-subtree was already
+	// flagged by the worker that unwound.)
+	if sched != nil {
+		if sched.pending.Load() > 0 {
+			e.abandoned.Store(true)
+		}
+	} else if next.Load() < int64(len(first)) {
+		e.abandoned.Store(true)
+	}
 
 	res := Result{
 		Automorphisms: plan.Pattern.Automorphisms(),
@@ -369,11 +420,15 @@ func MineWithPlan(store *dal.Store, plan *oig.Plan, opts Options) (Result, error
 		res.Ordered += w.count
 		res.Stats.add(w.stats)
 	}
-	if e.timedOut.Load() || (opts.Limit > 0 && found.Load() >= opts.Limit) {
-		res.Truncated = true
-	}
+	res.Truncated = e.abandoned.Load()
 	res.Unique = res.Ordered / uint64(res.Automorphisms)
-	return res, nil
+	e.panicMu.Lock()
+	panicErr := e.panicErr
+	e.panicMu.Unlock()
+	if panicErr != nil {
+		return res, panicErr
+	}
+	return res, ctx.Err()
 }
 
 // splitParams resolves the scheduling knobs: SplitDepth 0 means the default
@@ -409,15 +464,46 @@ type shared struct {
 	splitDepth     int
 	splitThreshold int
 	// stopped is the shared cooperative-cancellation flag: set by the
-	// deadline timer and by the worker that reaches Limit, checked once per
-	// candidate by every worker (including thieves executing stolen tasks).
+	// deadline timer, the context watcher, a panicking worker, and the
+	// worker that reaches Limit, checked once per candidate by every worker
+	// (including thieves executing stolen tasks).
 	stopped atomic.Bool
-	// timedOut records that stopped was set by the deadline timer.
-	timedOut atomic.Bool
+	// abandoned records that some worker actually walked away from
+	// unexplored work after observing stopped — the condition under which
+	// Result.Truncated is reported. A run whose stop flag fires only after
+	// (or exactly at) exhaustion stays un-truncated.
+	abandoned atomic.Bool
+	// panicErr holds the first worker panic, converted to an error so a
+	// crashing user callback cannot take down the process; panicMu guards it.
+	panicMu  sync.Mutex
+	panicErr error
 	// autoPerms holds the non-identity automorphism permutations when
 	// UniqueOnly filtering is active.
 	autoPerms [][]int
 	emitMu    sync.Mutex
+}
+
+// ErrWorkerPanic wraps a panic recovered on a mining worker goroutine;
+// match with errors.Is to distinguish a crashed query (a server-side bug
+// or a faulty user callback) from an invalid one.
+var ErrWorkerPanic = errors.New("engine: worker panicked")
+
+// recoverWorker converts a panic on a worker goroutine (most plausibly a
+// user OnEmbedding callback, but any engine bug too) into a recorded error
+// instead of a process death, and stops the remaining workers. The worker's
+// own unexplored subtree is gone, so the run is marked abandoned.
+func (e *shared) recoverWorker() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	e.panicMu.Lock()
+	if e.panicErr == nil {
+		e.panicErr = fmt.Errorf("%w: %v\n%s", ErrWorkerPanic, r, debug.Stack())
+	}
+	e.panicMu.Unlock()
+	e.abandoned.Store(true)
+	e.stopped.Store(true)
 }
 
 // firstCandidates enumerates candidates of the first pattern hyperedge:

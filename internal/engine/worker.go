@@ -94,6 +94,8 @@ func newWorker(e *shared, found *atomic.Uint64) *worker {
 //ohmlint:hotpath
 func (w *worker) mineFrom(first uint32) {
 	if w.stop {
+		// This first-level subtree is being skipped: the run undercounts.
+		w.e.abandoned.Store(true)
 		return
 	}
 	w.c[0] = first
@@ -134,14 +136,20 @@ func (w *worker) explore(t int, cands []uint32) {
 	instrument := w.e.opts.Instrument
 	var t0 time.Time
 	for i := 0; i < len(cands); i++ {
+		// Shared cooperative cancellation: the deadline timer, a context
+		// watcher, and the Limit all set one flag, checked with a single
+		// atomic load per candidate at every depth (stealing workers
+		// included). Returning here leaves candidates i..len-1 unexplored,
+		// which is exactly what Result.Truncated reports; the abandoned
+		// store runs only while unwinding after a stop, never on the
+		// steady-state hot path.
 		if w.stop {
+			w.e.abandoned.Store(true)
 			return
 		}
-		// Shared cooperative cancellation: the deadline timer and the
-		// Limit both set one flag, checked with a single atomic load per
-		// candidate at every depth (stealing workers included).
 		if w.e.stopped.Load() {
 			w.stop = true
+			w.e.abandoned.Store(true)
 			return
 		}
 		if w.sched != nil && t < w.e.splitDepth {

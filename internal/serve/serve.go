@@ -1,0 +1,333 @@
+// Package serve implements the ohmserve HTTP query service: a JSON query
+// endpoint over a plan-cached ohminer.Session, with per-request
+// timeout/limit mapping, concurrency admission control, expvar metrics,
+// pprof, and cooperative drain for graceful shutdown.
+//
+// The design follows the deployment the paper's API discussion envisions
+// (and HGMatch argues for): the store is built once, queries arrive
+// continuously, plans are cached per pattern, and every query runs with
+// bounded resources — a worker budget, a deadline, an embedding limit, and
+// a slot in the admission semaphore. Cancellation reaches the mining
+// workers through Session.MineContext, so a disconnected client or a
+// draining server stops burning CPU within one candidate check.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+
+	"ohminer"
+)
+
+// Config bounds the per-query and per-server resources.
+type Config struct {
+	// MaxConcurrent is the admission-semaphore width: at most this many
+	// queries mine at once, later arrivals wait their turn (bounded by
+	// their own timeout). ≤0 selects 2×GOMAXPROCS.
+	MaxConcurrent int
+	// DefaultTimeout applies to requests that carry no timeout_ms
+	// (0 = 10s). The timeout maps to the engine deadline: an expired query
+	// returns its partial counts marked truncated, not an error.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout (0 = 2m).
+	MaxTimeout time.Duration
+	// MaxLimit caps the per-request embedding limit and is applied to
+	// requests that ask for no limit at all (0 = uncapped).
+	MaxLimit uint64
+	// Workers bounds the engine worker count per query (0 = engine
+	// default, i.e. GOMAXPROCS).
+	Workers int
+	// DebugDelay injects artificial latency before each query starts
+	// mining. Test hook for the graceful-drain smoke test; zero in
+	// production.
+	DebugDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server answers pattern-mining queries over one Session. Create with New;
+// mount Handler on an http.Server.
+type Server struct {
+	sess *ohminer.Session
+	cfg  Config
+	sem  chan struct{}
+
+	// abortCtx is cancelled by Abort to hard-stop every in-flight query
+	// (the escalation path when graceful drain exceeds its budget).
+	abortCtx  context.Context
+	abortStop context.CancelFunc
+
+	queries     expvar.Int // admitted queries
+	rejected    expvar.Int // refused before mining (bad request, full queue)
+	errors      expvar.Int // queries that failed after admission
+	truncations expvar.Int // truncated results served
+	inFlight    expvar.Int // queries currently mining
+	vars        *expvar.Map
+}
+
+// New creates a Server over the session. The first Server created in a
+// process also publishes its metrics in the global expvar namespace under
+// "ohmserve"; later instances (tests) keep their metrics reachable through
+// their own /debug/vars handler.
+func New(sess *ohminer.Session, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		sess: sess,
+		cfg:  cfg,
+		sem:  make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.abortCtx, s.abortStop = context.WithCancel(context.Background())
+	m := new(expvar.Map).Init()
+	m.Set("queries", &s.queries)
+	m.Set("rejected", &s.rejected)
+	m.Set("errors", &s.errors)
+	m.Set("truncations", &s.truncations)
+	m.Set("in_flight", &s.inFlight)
+	m.Set("cache_hits", expvar.Func(func() any { h, _ := sess.CacheStats(); return h }))
+	m.Set("cache_misses", expvar.Func(func() any { _, mi := sess.CacheStats(); return mi }))
+	m.Set("cached_plans", expvar.Func(func() any { return sess.CachedPlans() }))
+	s.vars = m
+	publish(m)
+	return s
+}
+
+var publishMu sync.Mutex
+
+// publish registers m as the process-global "ohmserve" expvar exactly once
+// (expvar.Publish panics on duplicates, and tests create many Servers).
+func publish(m *expvar.Map) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get("ohmserve") == nil {
+		expvar.Publish("ohmserve", m)
+	}
+}
+
+// Abort cancels every in-flight query. The graceful path is
+// http.Server.Shutdown, which stops accepting and waits for handlers to
+// finish (each bounded by its own deadline); Abort is the escalation when
+// that wait exceeds the drain budget.
+func (s *Server) Abort() { s.abortStop() }
+
+// Session returns the underlying query session.
+func (s *Server) Session() *ohminer.Session { return s.sess }
+
+// Handler returns the service mux: POST /query, GET /healthz,
+// GET /debug/vars (expvar), and the net/http/pprof endpoints under
+// /debug/pprof/.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// QueryRequest is the JSON body of POST /query.
+type QueryRequest struct {
+	// Pattern is the pattern literal, e.g. "0 1 2; 2 3 4".
+	Pattern string `json:"pattern"`
+	// Variant selects the engine configuration by paper name (default
+	// "OHMiner"); see ohminer.WithVariant.
+	Variant string `json:"variant,omitempty"`
+	// Limit stops the query after this many ordered embeddings (0 = the
+	// server's MaxLimit, which may be unlimited).
+	Limit uint64 `json:"limit,omitempty"`
+	// TimeoutMS bounds the mining time; an expired query returns partial
+	// counts marked truncated. 0 = the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// DataAwareOrder derives the matching order from data selectivity.
+	DataAwareOrder bool `json:"data_aware_order,omitempty"`
+}
+
+// QueryResponse is the JSON body of a successful query.
+type QueryResponse struct {
+	Ordered       uint64  `json:"ordered"`
+	Unique        uint64  `json:"unique"`
+	Automorphisms int     `json:"automorphisms"`
+	Truncated     bool    `json:"truncated"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) reject(w http.ResponseWriter, code int, msg string) {
+	s.rejected.Add(1)
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The response writer owns delivery failures (client gone); nothing
+	// useful to do with an encode error here.
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.reject(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.reject(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Pattern == "" {
+		s.reject(w, http.StatusBadRequest, "missing \"pattern\"")
+		return
+	}
+	p, err := ohminer.ParsePattern(req.Pattern)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "bad pattern: "+err.Error())
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	limit := req.Limit
+	if s.cfg.MaxLimit > 0 && (limit == 0 || limit > s.cfg.MaxLimit) {
+		limit = s.cfg.MaxLimit
+	}
+	opts := []ohminer.Option{
+		ohminer.WithDeadline(timeout),
+		ohminer.WithLimit(limit),
+		ohminer.WithWorkers(s.cfg.Workers),
+	}
+	if req.Variant != "" {
+		opts = append(opts, ohminer.WithVariant(req.Variant))
+	}
+	if req.DataAwareOrder {
+		opts = append(opts, ohminer.WithDataAwareOrder())
+	}
+
+	// One context covers the whole query: the client disconnecting, the
+	// admission wait, the mining run, and a server Abort all cancel it.
+	// The timeout itself is NOT on the context — it maps to the engine
+	// deadline so an expired query answers with truncated partial counts.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopWatch := context.AfterFunc(s.abortCtx, cancel)
+	defer stopWatch()
+
+	// Admission: wait for a mining slot, but never longer than the query's
+	// own time budget — a saturated server sheds load instead of queueing
+	// unboundedly.
+	admit := time.NewTimer(timeout)
+	defer admit.Stop()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.reject(w, http.StatusServiceUnavailable, "cancelled while queued")
+		return
+	case <-admit.C:
+		s.reject(w, http.StatusServiceUnavailable, "server saturated: admission queue timed out")
+		return
+	}
+	defer func() { <-s.sem }()
+
+	s.queries.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	if s.cfg.DebugDelay > 0 {
+		delay := time.NewTimer(s.cfg.DebugDelay)
+		select {
+		case <-delay.C:
+		case <-ctx.Done():
+		}
+		delay.Stop()
+	}
+
+	res, err := s.sess.MineContext(ctx, p, opts...)
+	switch {
+	case ctx.Err() != nil:
+		// Client gone or server aborting: the partial result has no
+		// recipient left to trust it.
+		s.errors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "query cancelled"})
+		return
+	case errors.Is(err, ohminer.ErrWorkerPanic):
+		s.errors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		// Bad variant name, compile failure, label mismatch, …: the
+		// query, not the server, is at fault.
+		s.errors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	if res.Truncated {
+		s.truncations.Add(1)
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Ordered:       res.Ordered,
+		Unique:        res.Unique,
+		Automorphisms: res.Automorphisms,
+		Truncated:     res.Truncated,
+		ElapsedMS:     float64(res.Elapsed) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := s.sess.Store().Hypergraph()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"vertices":     h.NumVertices(),
+		"edges":        h.NumEdges(),
+		"cached_plans": s.sess.CachedPlans(),
+		"in_flight":    s.inFlight.Value(),
+	})
+}
+
+// handleVars serves the expvar page off the server's own metric map, so
+// every Server instance (not just the first one in the process) exposes
+// live numbers; the standard globals (memstats, cmdline, and the published
+// "ohmserve" map) follow.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\n%q: %s", "ohmserve", s.vars.String())
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == "ohmserve" {
+			return
+		}
+		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value.String())
+	})
+	fmt.Fprintf(w, "\n}\n")
+}

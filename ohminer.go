@@ -15,8 +15,10 @@
 package ohminer
 
 import (
+	"context"
 	"io"
 	"math/rand"
+	"time"
 
 	"ohminer/internal/dal"
 	"ohminer/internal/dynamic"
@@ -149,6 +151,10 @@ var (
 // overlap-centric execution plan (with the merge optimization applied).
 func CompilePattern(p *Pattern) (*Plan, error) { return oig.Compile(p, oig.ModeMerged) }
 
+// ErrWorkerPanic wraps a panic recovered on a mining worker goroutine
+// (e.g. inside a WithEmbeddings callback); match with errors.Is.
+var ErrWorkerPanic = engine.ErrWorkerPanic
+
 // Option configures Mine and the other mining entry points.
 type Option func(*config)
 
@@ -196,6 +202,12 @@ func WithScalarKernel() Option { return func(c *config) { c.Kernel = intset.Scal
 // WithLimit stops mining once at least n ordered embeddings were found.
 func WithLimit(n uint64) Option { return func(c *config) { c.Limit = n } }
 
+// WithDeadline aborts mining after roughly d (0 = none); a run the
+// deadline actually cut short returns a partial Result marked Truncated.
+// Unlike MineContext cancellation this is not an error: the partial counts
+// are the answer — the serving layer maps per-request timeouts here.
+func WithDeadline(d time.Duration) Option { return func(c *config) { c.Deadline = d } }
+
 // WithInstrumentation enables the Stats counters and phase timers.
 func WithInstrumentation() Option { return func(c *config) { c.Instrument = true } }
 
@@ -222,11 +234,21 @@ func WithCanonicalEmbeddingsOnly() Option {
 // Mine finds all embeddings of p in the store's hypergraph using the
 // overlap-centric engine (or the variant selected by options).
 func Mine(store *Store, p *Pattern, opts ...Option) (Result, error) {
+	return MineContext(context.Background(), store, p, opts...)
+}
+
+// MineContext is Mine with caller-controlled cancellation: when ctx is
+// cancelled mid-run the engine's workers unwind cooperatively (one shared
+// stop flag, one atomic load per candidate) and the call returns the
+// partial Result accumulated so far together with ctx.Err(). A panic in a
+// worker — e.g. inside a WithEmbeddings callback — is recovered and
+// returned as an error instead of crashing the process.
+func MineContext(ctx context.Context, store *Store, p *Pattern, opts ...Option) (Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return Result{}, err
 	}
-	return engine.Mine(store, p, o)
+	return engine.MineContext(ctx, store, p, o)
 }
 
 // MotifEntry is one row of a motif census.

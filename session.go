@@ -1,7 +1,10 @@
 package ohminer
 
 import (
+	"context"
+	"encoding/binary"
 	"sync"
+	"sync/atomic"
 
 	"ohminer/internal/engine"
 	"ohminer/internal/oig"
@@ -21,6 +24,9 @@ type Session struct {
 
 	mu    sync.Mutex
 	plans map[sessionKey]*Plan
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 type sessionKey struct {
@@ -41,6 +47,15 @@ func (s *Session) Store() *Store { return s.store }
 // pattern. All Mine options apply except the validation-mode-changing
 // variants, which select the plan mode transparently.
 func (s *Session) Mine(p *Pattern, opts ...Option) (Result, error) {
+	return s.MineContext(context.Background(), p, opts...)
+}
+
+// MineContext is Mine with caller-controlled cancellation: when ctx is
+// cancelled mid-run the engine unwinds cooperatively and the call returns
+// the partial Result together with ctx.Err(). This is the entry point the
+// ohmserve query service drives — one context per request covers the
+// client disconnecting, per-request deadlines, and server drain.
+func (s *Session) MineContext(ctx context.Context, p *Pattern, opts ...Option) (Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return Result{}, err
@@ -53,7 +68,7 @@ func (s *Session) Mine(p *Pattern, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return engine.MineWithPlan(s.store, plan, o)
+	return engine.MineWithPlanContext(ctx, s.store, plan, o)
 }
 
 // CachedPlans reports how many distinct plans the session holds.
@@ -61,6 +76,12 @@ func (s *Session) CachedPlans() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.plans)
+}
+
+// CacheStats reports how many queries reused a cached plan (hits) and how
+// many compiled a fresh one (misses) over the session's lifetime.
+func (s *Session) CacheStats() (hits, misses uint64) {
+	return s.hits.Load(), s.misses.Load()
 }
 
 func (s *Session) plan(p *Pattern, mode oig.Mode) (*Plan, error) {
@@ -82,6 +103,7 @@ func (s *Session) plan(p *Pattern, mode oig.Mode) (*Plan, error) {
 	s.mu.Lock()
 	if plan, ok := s.plans[key]; ok {
 		s.mu.Unlock()
+		s.hits.Add(1)
 		return plan, nil
 	}
 	s.mu.Unlock()
@@ -89,23 +111,31 @@ func (s *Session) plan(p *Pattern, mode oig.Mode) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.misses.Add(1)
 	s.mu.Lock()
 	s.plans[key] = plan
 	s.mu.Unlock()
 	return plan, nil
 }
 
+// labelFingerprint renders the pattern's vertex and hyperedge labels into
+// the cache key. Labels are full 32-bit values and must be encoded as such:
+// truncating to one byte would make labels differing by a multiple of 256
+// collide on the key and silently reuse a plan compiled for the wrong
+// labels.
 func labelFingerprint(p *Pattern) string {
-	out := make([]byte, 0, 2*p.NumVertices()+2*p.NumEdges())
+	out := make([]byte, 0, 5*p.NumVertices()+5*p.NumEdges()+1)
 	if p.Labeled() {
 		for v := 0; v < p.NumVertices(); v++ {
-			out = append(out, byte(p.Label(uint32(v))), ':')
+			out = binary.BigEndian.AppendUint32(out, p.Label(uint32(v)))
+			out = append(out, ':')
 		}
 	}
 	out = append(out, '|')
 	if p.EdgeLabeled() {
 		for e := 0; e < p.NumEdges(); e++ {
-			out = append(out, byte(p.EdgeLabel(e)), ':')
+			out = binary.BigEndian.AppendUint32(out, p.EdgeLabel(e))
+			out = append(out, ':')
 		}
 	}
 	return string(out)
