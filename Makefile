@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples serve-smoke fmt fmt-check vet lint ci clean
+.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples serve-smoke chaos fmt fmt-check vet lint ci clean
 
 all: build test lint
 
@@ -32,6 +32,7 @@ bench-json:
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/hypergraph
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/pattern
+	$(GO) test -fuzz FuzzLoad -fuzztime 30s ./internal/dal
 
 # Regenerate the paper's tables and figures (minutes; see EXPERIMENTS.md).
 experiments:
@@ -54,6 +55,12 @@ examples:
 serve-smoke:
 	$(GO) test -race -count=1 -run TestServeSmoke ./cmd/ohmserve
 
+# Fault-injection chaos drill: kill-at-kth-checkpoint, torn writes, worker
+# panics, and full-disk runs must all recover (or refuse) with exact counts,
+# race-instrumented, on both scheduler paths (see docs/ROBUSTNESS.md).
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/engine
+
 fmt:
 	gofmt -w .
 
@@ -69,7 +76,7 @@ lint:
 
 # The full local gate: formatting, vet, ohmlint, the race-enabled tests,
 # and the ohmserve end-to-end smoke.
-ci: fmt-check vet lint race serve-smoke
+ci: fmt-check vet lint race serve-smoke chaos
 
 clean:
 	$(GO) clean ./...

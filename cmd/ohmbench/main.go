@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		expID    = flag.String("exp", "all", "experiment id (fig3, fig12, table5, fig13, fig14, fig15, fig16, fig17a, fig17b, table6, sched) or 'all'")
+		expID    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
 		quick    = flag.Bool("quick", false, "trim datasets and pattern settings for a fast run")
 		seed     = flag.Int64("seed", 42, "pattern sampling seed")
 		workers  = flag.Int("workers", 0, "mining workers (0 = GOMAXPROCS)")

@@ -7,6 +7,13 @@
 //	ohminer -dataset SB -sample 3
 //	ohminer -input data.hg -pattern "0 1 2; 2 3; 3 4 5" -variant HGMatch
 //	ohminer -dataset WT -sample 4 -variant OHMiner -workers 8 -v
+//
+// Long runs can checkpoint: -checkpoint FILE snapshots the exact search
+// frontier periodically (atomic replace), and -resume continues a run from
+// that snapshot with exactly-once counting. A run cut short by Ctrl-C exits
+// 130 and one cut short by -timeout exits 124 — both after reporting their
+// partial counts — so scripts can tell "finished" from "truncated" without
+// parsing output.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"ohminer/internal/checkpoint"
 	"ohminer/internal/cliio"
 	"ohminer/internal/dal"
 	"ohminer/internal/engine"
@@ -27,8 +35,28 @@ import (
 	"ohminer/internal/pattern"
 )
 
+// Distinct exit codes for truncated runs, following the shell convention
+// (128+SIGINT for interrupts, timeout(1)'s 124 for expired deadlines).
+const (
+	exitInterrupted = 130
+	exitDeadline    = 124
+)
+
+// errInterrupted/errDeadline tag a run that reported partial counts; main
+// maps them to exit codes after output is flushed.
+var (
+	errInterrupted = errors.New("interrupted")
+	errDeadline    = errors.New("deadline exceeded")
+)
+
 func main() {
-	if err := run(); err != nil {
+	switch err := run(); {
+	case err == nil:
+	case errors.Is(err, errInterrupted):
+		os.Exit(exitInterrupted)
+	case errors.Is(err, errDeadline):
+		os.Exit(exitDeadline)
+	default:
 		fmt.Fprintln(os.Stderr, "ohminer:", err)
 		os.Exit(1)
 	}
@@ -50,6 +78,9 @@ func run() error {
 		verbose  = flag.Bool("v", false, "print embeddings (hyperedge IDs in matching order)")
 		estimate = flag.Float64("estimate", 0, "approximate the count by mining this fraction (0,1) of first-edge subtrees")
 		timeout  = flag.Duration("timeout", 0, "cancel mining after this long and report the partial counts (0 = none)")
+		ckptPath = flag.String("checkpoint", "", "snapshot the search frontier to FILE periodically; removed on clean completion")
+		ckptInt  = flag.Duration("checkpoint-every", 30*time.Second, "snapshot period for -checkpoint")
+		resume   = flag.Bool("resume", false, "continue from the -checkpoint snapshot instead of starting over")
 	)
 	flag.Parse()
 
@@ -126,6 +157,16 @@ func run() error {
 	if *verbose {
 		opts.OnEmbedding = func(c []uint32) { out.Println(c) }
 	}
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("-resume needs -checkpoint FILE")
+	}
+	if *ckptPath != "" {
+		if *estimate > 0 {
+			return fmt.Errorf("-checkpoint does not apply to -estimate runs")
+		}
+		opts.Checkpoint = &checkpoint.FileSink{Path: *ckptPath}
+		opts.CheckpointEvery = *ckptInt
+	}
 	if *estimate > 0 {
 		est, err := engine.EstimateCount(store, p, *estimate, *seed, opts)
 		if err != nil {
@@ -136,9 +177,26 @@ func run() error {
 			est.Elapsed.Round(time.Microsecond))
 		return out.Close()
 	}
-	res, err := engine.MineContext(ctx, store, p, opts)
+	var res engine.Result
+	if *resume {
+		snap, rerr := checkpoint.ReadFile(*ckptPath)
+		if rerr != nil {
+			return fmt.Errorf("resume: %w", rerr)
+		}
+		fmt.Fprintf(os.Stderr, "resume: snapshot seq=%d ordered=%d frontier=%d tasks\n",
+			snap.Seq, snap.Ordered, len(snap.Frontier))
+		res, err = engine.ResumeFromCheckpoint(ctx, store, p, snap, opts)
+	} else {
+		res, err = engine.MineContext(ctx, store, p, opts)
+	}
+	var truncCause error
 	if err != nil {
-		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			truncCause = errDeadline
+		case errors.Is(err, context.Canceled):
+			truncCause = errInterrupted
+		default:
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "ohminer: %v — partial counts follow\n", err)
@@ -151,5 +209,21 @@ func run() error {
 	if s := res.Stats; s.Publishes > 0 || s.Steals > 0 {
 		out.Printf("scheduler: publishes=%d steals=%d idle-spins=%d\n", s.Publishes, s.Steals, s.IdleSpins)
 	}
-	return out.Close()
+	if s := res.Stats; s.Checkpoints > 0 || s.CheckpointErrors > 0 {
+		out.Printf("checkpoints: written=%d bytes=%d errors=%d\n", s.Checkpoints, s.CheckpointBytes, s.CheckpointErrors)
+	}
+	if cerr := out.Close(); cerr != nil {
+		return cerr
+	}
+	if truncCause != nil {
+		if *ckptPath != "" {
+			fmt.Fprintf(os.Stderr, "ohminer: snapshot retained at %s — rerun with -resume to continue\n", *ckptPath)
+		}
+		return truncCause
+	}
+	if *ckptPath != "" {
+		// Clean completion: the rolling snapshot has nothing left to resume.
+		os.Remove(*ckptPath)
+	}
+	return nil
 }

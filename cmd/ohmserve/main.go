@@ -53,6 +53,8 @@ func run() error {
 		workers    = flag.Int("workers", 0, "engine workers per query (0 = GOMAXPROCS)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight queries")
 		debugDelay = flag.Duration("debug-delay", 0, "inject artificial latency per query (drain/smoke testing only)")
+		ckptDir    = flag.String("checkpoint-dir", "", "enable durable jobs (/jobs endpoints): persist specs and snapshots here")
+		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Second, "snapshot period for jobs")
 	)
 	flag.Parse()
 
@@ -82,13 +84,20 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "ohmserve: dal built in %v (%.1f MB)\n",
 		store.BuildTime().Round(time.Millisecond), float64(store.MemoryBytes())/(1<<20))
 
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+	}
 	srv := serve.New(ohminer.NewSession(store), serve.Config{
-		MaxConcurrent:  *maxConc,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxLimit:       *maxLimit,
-		Workers:        *workers,
-		DebugDelay:     *debugDelay,
+		MaxConcurrent:   *maxConc,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxLimit:        *maxLimit,
+		Workers:         *workers,
+		DebugDelay:      *debugDelay,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -123,6 +132,16 @@ func run() error {
 			return cerr
 		}
 		return err
+	}
+	// Queries are drained; now interrupt any background jobs through the
+	// engine's cancellation path, which persists a final snapshot per job
+	// so `-checkpoint-dir` + POST /jobs/{id}/resume continues them after
+	// the restart.
+	srv.Abort()
+	jobCtx, jobCancel := context.WithTimeout(context.Background(), *drain)
+	defer jobCancel()
+	if err := srv.DrainJobs(jobCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "ohmserve: jobs did not quiesce within the drain budget:", err)
 	}
 	fmt.Fprintln(os.Stderr, "ohmserve: drained cleanly, bye")
 	return nil

@@ -1,0 +1,271 @@
+// Package checkpoint defines the crash-safe snapshot format for long mining
+// runs. A snapshot captures everything needed to continue an interrupted
+// exploration with counts that are neither lost nor double-counted:
+//
+//   - the global frontier — the set of unexplored subtree tasks (bound
+//     prefix + remaining candidate range) that partition the remaining
+//     search space,
+//   - the partial result counters accumulated so far (ordered embeddings
+//     plus the engine's Stats counters, packed opaquely by the engine),
+//   - fingerprints of the compiled plan and of the data hypergraph, so a
+//     snapshot can never be resumed against a different pattern, matching
+//     order, or dataset.
+//
+// The file format is versioned, little-endian, and ends in a CRC32C trailer
+// over every preceding byte (shared with the dal store format via
+// internal/crcio): torn writes and bit-flips are rejected at load time.
+// WriteFile is atomic (temp file in the target directory + rename), so a
+// crash mid-checkpoint leaves the previous snapshot intact.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ohminer/internal/crcio"
+)
+
+const (
+	// Magic identifies a snapshot file ("OHMC").
+	Magic = 0x4f484d43
+	// Version is the current snapshot format version.
+	Version = 1
+
+	// maxTasks bounds the frontier length a decoder accepts; beyond it the
+	// file is declared corrupt rather than allocating unboundedly.
+	maxTasks = 1 << 26
+	// maxPrefix bounds a task's prefix length (pattern sizes are tiny).
+	maxPrefix = 1 << 12
+	// maxCands bounds a task's candidate-range length (hyperedge IDs are
+	// uint32, so a range can never meaningfully exceed 2^32 entries; the
+	// decoder additionally grows its buffers incrementally so a corrupt
+	// length fails on EOF before the allocation it advertises).
+	maxCands = 1 << 32
+)
+
+// ErrCorrupt tags every snapshot decoding failure; match with errors.Is.
+var ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
+
+// Task is one unexplored subtree: continue the depth-first search at
+// matching-order position Depth, binding each hyperedge in Cands, with the
+// first Depth positions already bound to Prefix.
+type Task struct {
+	Depth  uint32
+	Prefix []uint32
+	Cands  []uint32
+}
+
+// Snapshot is the serializable state of an interrupted mining run.
+type Snapshot struct {
+	// Seq numbers the checkpoints of one run, starting at 1; a resumed run
+	// continues the sequence.
+	Seq uint64
+	// PlanFP fingerprints the compiled plan (pattern, labels, matching
+	// order, mode); resuming validates it so frontier prefixes are never
+	// interpreted against a different matching order.
+	PlanFP uint64
+	// GraphFP is the data hypergraph's content fingerprint.
+	GraphFP uint64
+	// Ordered is the number of ordered embeddings counted so far. Every
+	// embedding is either counted here or reachable from exactly one
+	// frontier task, never both — the exactly-once invariant.
+	Ordered uint64
+	// Stats carries the engine's packed Stats counters (opaque to this
+	// package; the engine defines the order).
+	Stats []uint64
+	// Frontier is the set of unexplored subtree tasks.
+	Frontier []Task
+}
+
+// Sink consumes snapshots as the engine produces them and reports the bytes
+// persisted. Implementations must be safe for sequential calls from the
+// mining driver; a failed write must leave any previously persisted
+// snapshot intact.
+type Sink interface {
+	WriteSnapshot(s *Snapshot) (int64, error)
+}
+
+// Encode writes the snapshot to w in the versioned binary format,
+// CRC trailer included.
+func (s *Snapshot) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := crcio.NewWriter(bw)
+	head := []uint64{
+		Magic, Version,
+		s.Seq, s.PlanFP, s.GraphFP, s.Ordered,
+		uint64(len(s.Stats)),
+	}
+	if err := writeU64s(cw, head); err != nil {
+		return err
+	}
+	if err := writeU64s(cw, s.Stats); err != nil {
+		return err
+	}
+	if err := writeU64s(cw, []uint64{uint64(len(s.Frontier))}); err != nil {
+		return err
+	}
+	for i := range s.Frontier {
+		t := &s.Frontier[i]
+		hdr := []uint32{t.Depth, uint32(len(t.Prefix)), uint32(len(t.Cands))}
+		for _, arr := range [][]uint32{hdr, t.Prefix, t.Cands} {
+			if err := binary.Write(cw, binary.LittleEndian, arr); err != nil {
+				return fmt.Errorf("checkpoint: encode frontier: %w", err)
+			}
+		}
+	}
+	if err := cw.WriteTrailer(); err != nil {
+		return fmt.Errorf("checkpoint: encode trailer: %w", err)
+	}
+	return bw.Flush()
+}
+
+func writeU64s(w io.Writer, vs []uint64) error {
+	if err := binary.Write(w, binary.LittleEndian, vs); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a snapshot written by Encode, verifying the magic, version,
+// structural bounds, and the CRC trailer. Every failure wraps ErrCorrupt
+// except a version from a newer format, which gets its own message.
+func Decode(r io.Reader) (*Snapshot, error) {
+	cr := crcio.NewReader(bufio.NewReader(r))
+	head := make([]uint64, 7)
+	if err := binary.Read(cr, binary.LittleEndian, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if head[0] != Magic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, head[0])
+	}
+	if head[1] != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported snapshot version %d (want %d)", head[1], Version)
+	}
+	s := &Snapshot{Seq: head[2], PlanFP: head[3], GraphFP: head[4], Ordered: head[5]}
+	nstats := head[6]
+	if nstats > 1024 {
+		return nil, fmt.Errorf("%w: absurd stats length %d", ErrCorrupt, nstats)
+	}
+	if nstats > 0 {
+		s.Stats = make([]uint64, nstats)
+		if err := binary.Read(cr, binary.LittleEndian, s.Stats); err != nil {
+			return nil, fmt.Errorf("%w: short stats: %v", ErrCorrupt, err)
+		}
+	}
+	var ntasks uint64
+	if err := binary.Read(cr, binary.LittleEndian, &ntasks); err != nil {
+		return nil, fmt.Errorf("%w: short frontier header: %v", ErrCorrupt, err)
+	}
+	if ntasks > maxTasks {
+		return nil, fmt.Errorf("%w: absurd frontier length %d", ErrCorrupt, ntasks)
+	}
+	if ntasks > 0 {
+		s.Frontier = make([]Task, 0, min(ntasks, 4096))
+	}
+	for i := uint64(0); i < ntasks; i++ {
+		var hdr [3]uint32
+		if err := binary.Read(cr, binary.LittleEndian, hdr[:]); err != nil {
+			return nil, fmt.Errorf("%w: short task header: %v", ErrCorrupt, err)
+		}
+		if hdr[1] > maxPrefix || uint64(hdr[2]) > maxCands {
+			return nil, fmt.Errorf("%w: absurd task sizes (prefix %d, cands %d)", ErrCorrupt, hdr[1], hdr[2])
+		}
+		t := Task{Depth: hdr[0]}
+		var err error
+		if t.Prefix, err = readU32s(cr, hdr[1]); err != nil {
+			return nil, fmt.Errorf("%w: short task prefix: %v", ErrCorrupt, err)
+		}
+		if t.Cands, err = readU32s(cr, hdr[2]); err != nil {
+			return nil, fmt.Errorf("%w: short task candidates: %v", ErrCorrupt, err)
+		}
+		s.Frontier = append(s.Frontier, t)
+	}
+	if err := cr.CheckTrailer("checkpoint"); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return s, nil
+}
+
+// readU32s reads n little-endian uint32s, growing the buffer incrementally
+// so a corrupt length fails with a short read instead of allocating the
+// advertised size up front.
+func readU32s(r io.Reader, n uint32) ([]uint32, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	const chunkMax = 1 << 16
+	buf := make([]uint32, min(n, chunkMax))
+	out := make([]uint32, 0, len(buf))
+	for remaining := n; remaining > 0; {
+		part := buf[:min(remaining, chunkMax)]
+		if err := binary.Read(r, binary.LittleEndian, part); err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+		remaining -= uint32(len(part))
+	}
+	return out, nil
+}
+
+// WriteFile atomically persists the snapshot at path: the bytes go to a
+// temporary file in the same directory, are fsynced, and replace path with
+// a rename, so a crash mid-write leaves the previous snapshot intact.
+// It returns the number of bytes written.
+func (s *Snapshot) WriteFile(path string) (int64, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	fail := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := s.Encode(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	size, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return size, nil
+}
+
+// ReadFile loads and validates a snapshot written by WriteFile.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// FileSink persists every snapshot to one path, atomically replacing the
+// previous one — the standard sink for CLI runs and ohmserve jobs.
+type FileSink struct {
+	Path string
+}
+
+// WriteSnapshot implements Sink.
+func (fs *FileSink) WriteSnapshot(s *Snapshot) (int64, error) {
+	return s.WriteFile(fs.Path)
+}

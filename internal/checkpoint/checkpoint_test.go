@@ -1,0 +1,177 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sample() *Snapshot {
+	return &Snapshot{
+		Seq:     3,
+		PlanFP:  0xdeadbeefcafe,
+		GraphFP: 0x1234567890ab,
+		Ordered: 424242,
+		Stats:   []uint64{1, 2, 3, 4, 5},
+		Frontier: []Task{
+			{Depth: 0, Prefix: nil, Cands: []uint32{7, 8, 9}},
+			{Depth: 2, Prefix: []uint32{10, 11}, Cands: []uint32{100}},
+			{Depth: 1, Prefix: []uint32{5}, Cands: nil},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sample()
+	var buf bytes.Buffer
+	if err := want.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	want := sample()
+	n, err := want.WriteFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != fi.Size() || n == 0 {
+		t.Fatalf("reported %d bytes, file has %d", n, fi.Size())
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("file round trip mismatch")
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("unexpected files in checkpoint dir: %v", entries)
+	}
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	first := sample()
+	if _, err := first.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	second := sample()
+	second.Seq = 4
+	second.Ordered = 500000
+	if _, err := second.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 4 || got.Ordered != 500000 {
+		t.Fatalf("expected replaced snapshot, got seq=%d ordered=%d", got.Seq, got.Ordered)
+	}
+}
+
+// TestCorruptionRejected flips/truncates bytes all over a valid snapshot and
+// requires every mutation to be rejected (no panic, no silent success with
+// altered content).
+func TestCorruptionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// Truncations at every prefix length.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := Decode(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	// Single-byte flips.
+	for i := 0; i < len(valid); i++ {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0x5a
+		got, err := Decode(bytes.NewReader(mut))
+		if err == nil && reflect.DeepEqual(got, sample()) {
+			continue // flip landed in redundant encoding space, content intact
+		}
+		if err == nil {
+			t.Fatalf("bit flip at %d accepted with altered content", i)
+		}
+	}
+	// Trailing garbage after the trailer is ignored by Decode (a stream may
+	// embed a snapshot), but a corrupt trailer is not.
+	mut := bytes.Clone(valid)
+	mut[len(mut)-1] ^= 0xff
+	if _, err := Decode(bytes.NewReader(mut)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt trailer: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestVersionAndMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrongMagic := bytes.Clone(buf.Bytes())
+	wrongMagic[0] ^= 0xff
+	if _, err := Decode(bytes.NewReader(wrongMagic)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: got %v", err)
+	}
+	wrongVersion := bytes.Clone(buf.Bytes())
+	wrongVersion[8] = 99
+	if _, err := Decode(bytes.NewReader(wrongVersion)); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future version must fail with a version error, got %v", err)
+	}
+}
+
+func TestAbsurdLengthsRejected(t *testing.T) {
+	// A frontier length of 2^40 must error out without trying to allocate
+	// the advertised space.
+	s := sample()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mut := buf.Bytes()
+	// Offset of ntasks: 7 header u64s + 5 stats u64s = 12*8 = 96.
+	copy(mut[96:104], []byte{0, 0, 0, 0, 1, 0, 0, 0})
+	if _, err := Decode(bytes.NewReader(mut)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("absurd frontier length: got %v", err)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	want := &Snapshot{Seq: 1, PlanFP: 1, GraphFP: 2, Ordered: 0}
+	var buf bytes.Buffer
+	if err := want.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("empty snapshot mismatch: %+v vs %+v", want, got)
+	}
+}

@@ -1,0 +1,47 @@
+package dal
+
+import (
+	"bytes"
+	"testing"
+
+	"ohminer/internal/hypergraph"
+)
+
+// FuzzLoad hammers the store decoder with mutated bytes: whatever the input,
+// Load must either return a descriptive error or an intact store — never
+// panic, and never allocate beyond what the attached hypergraph bounds (the
+// header limits are graph-relative, so a hostile length field fails fast).
+func FuzzLoad(f *testing.F) {
+	h := hypergraph.MustBuild(8, [][]uint32{
+		{0, 1, 2}, {1, 2, 3}, {2, 3, 4}, {4, 5}, {5, 6, 7}, {0, 7},
+	}, nil)
+	var buf bytes.Buffer
+	if err := Build(h).Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(bytes.Clone(valid))
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	for _, off := range []int{0, 8, 16, 24, 32, 40, 48, 56, 64, len(valid) - 1} {
+		mut := bytes.Clone(valid)
+		mut[off] ^= 0xff
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data), h)
+		if err != nil {
+			return
+		}
+		// The CRC trailer makes accepting a mutated file (within the
+		// fuzzer's reach) a checksum collision; anything accepted must be
+		// the original store, byte for byte, and re-serializable.
+		var out bytes.Buffer
+		if err := s.Save(&out); err != nil {
+			t.Fatalf("re-save of accepted store failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), valid) {
+			t.Fatal("accepted store differs from the original")
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package engine
+
+// Chaos tests: drive the checkpoint/resume machinery through injected
+// failures (internal/faultinject) and require exact-count recovery every
+// time. These run race-instrumented via `make chaos` (wired into `make
+// ci`); every fault point is derived deterministically from the table seed,
+// so a failure replays identically.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ohminer/internal/checkpoint"
+	"ohminer/internal/faultinject"
+)
+
+const chaosTick = 2 * time.Millisecond
+
+// chaosOpts is the shared option block: both scheduler paths get the same
+// throttled workload so each run spans many checkpoint periods. The 100µs
+// throttle stretches the 3540-embedding workload to >100ms of wall time:
+// a checkpoint costs a full quiesce/restart cycle, and under heavy load
+// (race-instrumented CI) a cycle can take tens of milliseconds, so the run
+// must be long enough to fit every derived fault point with margin.
+func chaosOpts(split int, sink checkpoint.Sink) Options {
+	return Options{
+		Workers:         3,
+		SplitDepth:      split,
+		SplitThreshold:  2,
+		Checkpoint:      sink,
+		CheckpointEvery: chaosTick,
+		OnEmbedding:     faultinject.SlowEmbedding(100 * time.Microsecond),
+	}
+}
+
+// TestChaosKillAtKthCheckpoint kills the run (context cancellation — the
+// SIGKILL stand-in: everything after the last durable snapshot is lost)
+// right after the k-th checkpoint lands on disk, then resumes from the file
+// and requires the exact uninterrupted total. Several kill points, both
+// scheduler paths, and a second resume of the same snapshot to prove
+// idempotence.
+func TestChaosKillAtKthCheckpoint(t *testing.T) {
+	store, p, want := slowWorkload(t)
+	for _, split := range []int{0, -1} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			// Capped at 3: every run reliably reaches 3 checkpoints even
+			// when a loaded machine stretches each quiesce cycle.
+			killAt := int(faultinject.Derive(seed, "kill", 3))
+			t.Run(fmt.Sprintf("split=%d/killAt=%d", split, killAt), func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "run.ckpt")
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				sink := &faultinject.CrashSink{
+					Inner:   &checkpoint.FileSink{Path: path},
+					After:   killAt,
+					OnCrash: cancel,
+				}
+				res1, err := MineContext(ctx, store, p, chaosOpts(split, sink))
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("kill missed: err=%v after %d writes", err, sink.Writes())
+				}
+				if !res1.Truncated {
+					t.Error("killed run not Truncated")
+				}
+				if res1.Ordered >= want {
+					t.Fatalf("kill came after completion (%d >= %d); cannot exercise resume", res1.Ordered, want)
+				}
+
+				snap, err := checkpoint.ReadFile(path)
+				if err != nil {
+					t.Fatalf("read snapshot: %v", err)
+				}
+				for attempt := 1; attempt <= 2; attempt++ {
+					res, err := ResumeFromCheckpoint(context.Background(), store, p,
+						snap, chaosOpts(split, nil))
+					if err != nil {
+						t.Fatalf("resume attempt %d: %v", attempt, err)
+					}
+					if res.Ordered != want {
+						t.Errorf("resume attempt %d: total %d, want %d (snapshot carried %d)",
+							attempt, res.Ordered, want, snap.Ordered)
+					}
+					if res.Truncated {
+						t.Errorf("resume attempt %d: completed run Truncated", attempt)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosTornCheckpointRejected tears the snapshot file mid-write (the
+// corruption a non-atomic writer leaves on power loss) at several tear
+// lengths; the loader must reject every torn file as corrupt — resuming
+// from garbage would be worse than starting over.
+func TestChaosTornCheckpointRejected(t *testing.T) {
+	store, p, _ := slowWorkload(t)
+	for seed := uint64(1); seed <= 4; seed++ {
+		// Max tear length stays below the smallest complete snapshot (~204
+		// bytes for a one-task frontier), so every torn file is truly short.
+		tearBytes := int(faultinject.Derive(seed, "tear", 150))
+		t.Run(fmt.Sprintf("tearBytes=%d", tearBytes), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			sink := &faultinject.TornSink{Path: path, TearAt: 2, TearBytes: tearBytes}
+			crash := &faultinject.CrashSink{Inner: sink, After: 2, OnCrash: cancel}
+			if _, err := MineContext(ctx, store, p, chaosOpts(0, crash)); !errors.Is(err, context.Canceled) {
+				t.Fatalf("kill missed: %v", err)
+			}
+			if _, err := checkpoint.ReadFile(path); !errors.Is(err, checkpoint.ErrCorrupt) {
+				t.Fatalf("torn snapshot (%d bytes) not rejected as corrupt: %v", tearBytes, err)
+			}
+		})
+	}
+}
+
+// TestChaosPanicThenResume crashes a worker mid-run with an injected panic
+// (a buggy user callback). The run must surface ErrWorkerPanic — with the
+// deferred emitMu release, not a deadlock — and the last snapshot written
+// before the panic must resume to the exact total: the partial work of the
+// crashed round is lost, never double-counted.
+func TestChaosPanicThenResume(t *testing.T) {
+	store, p, want := slowWorkload(t)
+	for _, split := range []int{0, -1} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			// Late enough that checkpoints exist, early enough to lose work.
+			panicAt := 1000 + faultinject.Derive(seed, "panic", want-2000)
+			t.Run(fmt.Sprintf("split=%d/panicAt=%d", split, panicAt), func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "run.ckpt")
+				opts := chaosOpts(split, &checkpoint.FileSink{Path: path})
+				opts.OnEmbedding = faultinject.PanicAfter(panicAt,
+					faultinject.SlowEmbedding(100*time.Microsecond))
+				res, err := Mine(store, p, opts)
+				if !errors.Is(err, ErrWorkerPanic) {
+					t.Fatalf("err=%v, want ErrWorkerPanic", err)
+				}
+				if !res.Truncated {
+					t.Error("panicked run not Truncated")
+				}
+				if _, err := os.Stat(path); err != nil {
+					t.Skipf("panic landed before the first checkpoint (%v); nothing to resume", err)
+				}
+				snap, err := checkpoint.ReadFile(path)
+				if err != nil {
+					t.Fatalf("read snapshot: %v", err)
+				}
+				got, err := ResumeFromCheckpoint(context.Background(), store, p,
+					snap, chaosOpts(split, nil))
+				if err != nil {
+					t.Fatalf("resume: %v", err)
+				}
+				if got.Ordered != want {
+					t.Errorf("resumed total %d, want %d (snapshot carried %d)", got.Ordered, want, snap.Ordered)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosFullDisk: persistent checkpoint failure (ENOSPC) must never
+// change the mining result — the run completes exact with the failures
+// merely counted.
+func TestChaosFullDisk(t *testing.T) {
+	store, p, want := slowWorkload(t)
+	for _, split := range []int{0, -1} {
+		sink := &faultinject.NoSpaceSink{}
+		res, err := Mine(store, p, chaosOpts(split, sink))
+		if err != nil {
+			t.Fatalf("split=%d: %v", split, err)
+		}
+		if res.Ordered != want || res.Truncated {
+			t.Errorf("split=%d: Ordered=%d Truncated=%v, want %d/false", split, res.Ordered, res.Truncated, want)
+		}
+		if sink.Attempts() == 0 || res.Stats.CheckpointErrors != sink.Attempts() {
+			t.Errorf("split=%d: %d refused writes, stats count %d", split, sink.Attempts(), res.Stats.CheckpointErrors)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package engine
+
+// Crash-safe checkpoint/resume support. A long mining run periodically
+// quiesces its workers at a safe point (the per-candidate stop check they
+// already pay for), captures the global frontier — every unexplored subtree
+// task, i.e. the queued deque/overflow tasks plus the remainder each worker
+// walked away from while unwinding — together with the partial counters,
+// and hands the snapshot to the configured checkpoint.Sink. The frontier
+// tasks partition the unexplored search space exactly, so the counts of a
+// resumed run are provably neither lost nor double-counted: every ordered
+// embedding is either already in Snapshot.Ordered or reachable from exactly
+// one frontier task.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"ohminer/internal/checkpoint"
+	"ohminer/internal/dal"
+	"ohminer/internal/oig"
+	"ohminer/internal/pattern"
+)
+
+// planFingerprint hashes everything that fixes the meaning of a frontier
+// task: the pattern structure rendered in matching order, the vertex and
+// hyperedge labels (String does not include them), the matching-order
+// permutation, and the plan mode. A snapshot resumed against a plan with a
+// different fingerprint would interpret bound prefixes against the wrong
+// positions, so resume refuses it.
+func planFingerprint(plan *oig.Plan) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, plan.Pattern.String())
+	var buf [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	w(uint64(plan.Mode))
+	w(uint64(len(plan.Order)))
+	for _, o := range plan.Order {
+		w(uint64(o))
+	}
+	if plan.Pattern.Labeled() {
+		for v := 0; v < plan.Pattern.NumVertices(); v++ {
+			w(uint64(plan.Pattern.Label(uint32(v))))
+		}
+	}
+	if plan.Pattern.EdgeLabeled() {
+		for e := 0; e < plan.Pattern.NumEdges(); e++ {
+			w(uint64(plan.Pattern.EdgeLabel(e)))
+		}
+	}
+	return h.Sum64()
+}
+
+// packStats flattens the Stats counters into the opaque slice a snapshot
+// carries; unpackStats inverts it. The order is part of the snapshot format
+// (bump checkpoint.Version when it changes).
+func packStats(s Stats) []uint64 {
+	return []uint64{
+		s.Candidates, s.Embeddings, s.SetOps,
+		s.NMFetches, s.RedundantNMFetches,
+		s.ProfileVertices, s.RedundantProfileVertices,
+		uint64(s.GenTime), uint64(s.ValTime),
+		s.Publishes, s.Steals, s.IdleSpins,
+		s.Checkpoints, s.CheckpointBytes, s.CheckpointErrors,
+	}
+}
+
+func unpackStats(vs []uint64) Stats {
+	var s Stats
+	dst := []*uint64{
+		&s.Candidates, &s.Embeddings, &s.SetOps,
+		&s.NMFetches, &s.RedundantNMFetches,
+		&s.ProfileVertices, &s.RedundantProfileVertices,
+		nil, nil, // GenTime/ValTime handled below
+		&s.Publishes, &s.Steals, &s.IdleSpins,
+		&s.Checkpoints, &s.CheckpointBytes, &s.CheckpointErrors,
+	}
+	for i, v := range vs {
+		if i >= len(dst) {
+			break
+		}
+		switch i {
+		case 7:
+			s.GenTime = time.Duration(v)
+		case 8:
+			s.ValTime = time.Duration(v)
+		default:
+			*dst[i] = v
+		}
+	}
+	return s
+}
+
+// ValidateSnapshot checks that snap can be resumed against (store, plan):
+// matching fingerprints plus structural bounds on every frontier task, so a
+// snapshot that passed its CRC but was written for different inputs (or
+// hand-edited) is rejected with a descriptive error instead of causing
+// out-of-range panics during mining.
+func ValidateSnapshot(store *dal.Store, plan *oig.Plan, snap *checkpoint.Snapshot) error {
+	if got, want := snap.PlanFP, planFingerprint(plan); got != want {
+		return fmt.Errorf("engine: snapshot was written for a different plan (fingerprint %#x, want %#x): pattern, labels, matching order, and validation mode must all match", got, want)
+	}
+	if got, want := snap.GraphFP, store.Hypergraph().Fingerprint(); got != want {
+		return fmt.Errorf("engine: snapshot was written for a different data hypergraph (fingerprint %#x, want %#x)", got, want)
+	}
+	m := plan.Pattern.NumEdges()
+	ne := uint32(store.Hypergraph().NumEdges())
+	for i := range snap.Frontier {
+		t := &snap.Frontier[i]
+		if int(t.Depth) >= m {
+			return fmt.Errorf("engine: snapshot frontier task %d at depth %d exceeds the %d-hyperedge pattern", i, t.Depth, m)
+		}
+		if len(t.Prefix) != int(t.Depth) {
+			return fmt.Errorf("engine: snapshot frontier task %d has a %d-long prefix for depth %d", i, len(t.Prefix), t.Depth)
+		}
+		for _, id := range t.Prefix {
+			if id >= ne {
+				return fmt.Errorf("engine: snapshot frontier task %d binds hyperedge %d, beyond the %d hyperedges of the data", i, id, ne)
+			}
+		}
+		for _, id := range t.Cands {
+			if id >= ne {
+				return fmt.Errorf("engine: snapshot frontier task %d lists candidate %d, beyond the %d hyperedges of the data", i, id, ne)
+			}
+		}
+	}
+	return nil
+}
+
+// ResumeFromCheckpoint compiles the plan for (p, opts) — exactly as
+// MineContext would — and continues the interrupted run the snapshot
+// captured. The returned Result accumulates on top of the snapshot's
+// counters: its Ordered includes every embedding counted before the crash,
+// so a resumed run that finishes reports the same totals as an
+// uninterrupted one.
+func ResumeFromCheckpoint(ctx context.Context, store *dal.Store, p *pattern.Pattern, snap *checkpoint.Snapshot, opts Options) (Result, error) {
+	mode := oig.ModeMerged
+	if opts.Val == ValOverlapSimple {
+		mode = oig.ModeSimple
+	}
+	var (
+		plan *oig.Plan
+		err  error
+	)
+	if opts.DataAwareOrder {
+		plan, err = oig.CompileOrdered(p, mode, dataAwareOrder(store, p))
+	} else {
+		plan, err = oig.Compile(p, mode)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return ResumeWithPlanContext(ctx, store, plan, snap, opts)
+}
+
+// ResumeWithPlanContext is ResumeFromCheckpoint over a precompiled plan
+// (which must be the plan the snapshot fingerprints).
+func ResumeWithPlanContext(ctx context.Context, store *dal.Store, plan *oig.Plan, snap *checkpoint.Snapshot, opts Options) (Result, error) {
+	if snap == nil {
+		return Result{}, errors.New("engine: resume needs a snapshot")
+	}
+	if err := ValidateSnapshot(store, plan, snap); err != nil {
+		return Result{}, err
+	}
+	return mineResumable(ctx, store, plan, opts, snap)
+}
+
+// buildSnapshot assembles the serializable snapshot for the current quiesce
+// point.
+func (e *shared) buildSnapshot(seq uint64, frontier []task, ordered uint64, stats Stats) *checkpoint.Snapshot {
+	fr := make([]checkpoint.Task, len(frontier))
+	for i := range frontier {
+		fr[i] = checkpoint.Task{
+			Depth:  uint32(frontier[i].depth),
+			Prefix: frontier[i].prefix,
+			Cands:  frontier[i].cands,
+		}
+	}
+	return &checkpoint.Snapshot{
+		Seq:      seq,
+		PlanFP:   planFingerprint(e.plan),
+		GraphFP:  e.store.Hypergraph().Fingerprint(),
+		Ordered:  ordered,
+		Stats:    packStats(stats),
+		Frontier: fr,
+	}
+}
+
+// collectFrontier gathers every unexplored subtree after a quiesce: the
+// remainders each worker saved while unwinding, plus whatever never left
+// the distribution structures — queued deque and overflow tasks on the
+// work-stealing path, or the unclaimed tail of the round's item list on the
+// legacy path. Together these partition the unexplored search space.
+func (e *shared) collectFrontier(ws []*worker, rs roundState, first []uint32, tasks []task) []task {
+	var out []task
+	for _, w := range ws {
+		out = append(out, w.saved...)
+		w.saved = nil
+	}
+	if rs.sched != nil {
+		for i := range rs.sched.deques {
+			out = rs.sched.deques[i].drainTasks(out)
+		}
+		rs.sched.ovMu.Lock()
+		out = append(out, rs.sched.overflow...)
+		rs.sched.overflow = nil
+		rs.sched.ovMu.Unlock()
+		return out
+	}
+	if tasks != nil {
+		out = append(out, tasks[rs.claimed:]...)
+	} else if int(rs.claimed) < len(first) {
+		out = append(out, task{cands: append([]uint32(nil), first[rs.claimed:]...)})
+	}
+	return out
+}

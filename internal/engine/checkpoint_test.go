@@ -1,0 +1,316 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ohminer/internal/bruteforce"
+	"ohminer/internal/checkpoint"
+	"ohminer/internal/dal"
+	"ohminer/internal/hypergraph"
+	"ohminer/internal/pattern"
+)
+
+// memSink captures encoded snapshots in memory, exercising the full
+// serialization path without disk. afterWrite (when set) runs after each
+// successful write with the running write count — tests use it to cancel
+// the run at the k-th checkpoint, simulating a crash.
+type memSink struct {
+	mu         sync.Mutex
+	data       [][]byte
+	fail       error
+	afterWrite func(n int)
+}
+
+func (ms *memSink) WriteSnapshot(s *checkpoint.Snapshot) (int64, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ms.fail != nil {
+		return 0, ms.fail
+	}
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		return 0, err
+	}
+	ms.data = append(ms.data, buf.Bytes())
+	if ms.afterWrite != nil {
+		ms.afterWrite(len(ms.data))
+	}
+	return int64(buf.Len()), nil
+}
+
+func (ms *memSink) writes() int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return len(ms.data)
+}
+
+func (ms *memSink) latest(t *testing.T) *checkpoint.Snapshot {
+	t.Helper()
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if len(ms.data) == 0 {
+		t.Fatal("no snapshot written")
+	}
+	s, err := checkpoint.Decode(bytes.NewReader(ms.data[len(ms.data)-1]))
+	if err != nil {
+		t.Fatalf("decode captured snapshot: %v", err)
+	}
+	return s
+}
+
+// slowWorkload returns a workload with enough embeddings that a run
+// throttled by slowEmit spans many checkpoint periods: a 60-edge star whose
+// edges pairwise overlap in exactly the hub vertex, so the 2-edge pattern
+// sharing one vertex has 60*59 ordered embeddings.
+func slowWorkload(t *testing.T) (*dal.Store, *pattern.Pattern, uint64) {
+	t.Helper()
+	const n = 60
+	edges := make([][]uint32, n)
+	for i := range edges {
+		edges[i] = []uint32{0, uint32(i + 1)}
+	}
+	h := hypergraph.MustBuild(n+1, edges, nil)
+	p := pattern.MustNew([][]uint32{{0, 1}, {0, 2}}, nil)
+	want := bruteforce.Count(h, p)
+	if want != n*(n-1) {
+		t.Fatalf("star workload: brute force %d, want %d", want, n*(n-1))
+	}
+	return dal.Build(h), p, want
+}
+
+// slowEmit burns ~20µs per embedding (busy-wait: time.Sleep rounds up to
+// scheduler granularity, which would inflate the test tenfold).
+func slowEmit([]uint32) {
+	end := time.Now().Add(20 * time.Microsecond)
+	for time.Now().Before(end) {
+	}
+}
+
+// TestCheckpointedRunExactCount proves that periodic quiescing is
+// count-neutral: a run interrupted by dozens of checkpoint rounds reports
+// exactly the uninterrupted total, on both scheduler paths.
+func TestCheckpointedRunExactCount(t *testing.T) {
+	store, p, want := slowWorkload(t)
+	for _, split := range []int{0, -1} {
+		sink := &memSink{}
+		res, err := Mine(store, p, Options{
+			Workers:         3,
+			SplitDepth:      split,
+			Checkpoint:      sink,
+			CheckpointEvery: 2 * time.Millisecond,
+			OnEmbedding:     slowEmit,
+		})
+		if err != nil {
+			t.Fatalf("split=%d: %v", split, err)
+		}
+		if res.Ordered != want {
+			t.Errorf("split=%d: Ordered=%d want %d", split, res.Ordered, want)
+		}
+		if res.Truncated {
+			t.Errorf("split=%d: completed run reported Truncated", split)
+		}
+		if sink.writes() == 0 {
+			t.Errorf("split=%d: no checkpoints written during a %s run", split, res.Elapsed)
+		}
+		if res.Stats.Checkpoints != uint64(sink.writes()) {
+			t.Errorf("split=%d: Stats.Checkpoints=%d, sink saw %d", split, res.Stats.Checkpoints, sink.writes())
+		}
+		if res.Stats.CheckpointBytes == 0 {
+			t.Errorf("split=%d: Stats.CheckpointBytes=0", split)
+		}
+	}
+}
+
+// TestCrashResumeExactCount kills a run at the k-th checkpoint (context
+// cancellation, the SIGTERM path) and resumes from the captured snapshot:
+// the resumed total must equal the uninterrupted count exactly — embeddings
+// counted before the kill are neither lost nor recounted. Both scheduler
+// paths, several kill points.
+func TestCrashResumeExactCount(t *testing.T) {
+	store, p, want := slowWorkload(t)
+	for _, split := range []int{0, -1} {
+		for _, killAt := range []int{1, 3} {
+			ctx, cancel := context.WithCancel(context.Background())
+			sink := &memSink{}
+			sink.afterWrite = func(n int) {
+				if n == killAt {
+					cancel()
+				}
+			}
+			opts := Options{
+				Workers:         3,
+				SplitDepth:      split,
+				Checkpoint:      sink,
+				CheckpointEvery: 2 * time.Millisecond,
+				OnEmbedding:     slowEmit,
+			}
+			res1, err := MineContext(ctx, store, p, opts)
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("split=%d killAt=%d: err=%v (run finished in %d checkpoints before the kill?)",
+					split, killAt, err, sink.writes())
+			}
+			if !res1.Truncated {
+				t.Errorf("split=%d killAt=%d: killed run not Truncated", split, killAt)
+			}
+			snap := sink.latest(t)
+			if snap.Ordered != res1.Ordered {
+				t.Errorf("split=%d killAt=%d: final snapshot Ordered=%d, result says %d",
+					split, killAt, snap.Ordered, res1.Ordered)
+			}
+			if res1.Ordered >= want {
+				t.Fatalf("split=%d killAt=%d: kill came too late to test resume (%d >= %d)",
+					split, killAt, res1.Ordered, want)
+			}
+
+			res2, err := ResumeFromCheckpoint(context.Background(), store, p, snap, opts)
+			if err != nil {
+				t.Fatalf("split=%d killAt=%d: resume: %v", split, killAt, err)
+			}
+			if res2.Ordered != want {
+				t.Errorf("split=%d killAt=%d: resumed total %d, want %d (snapshot had %d)",
+					split, killAt, res2.Ordered, want, snap.Ordered)
+			}
+			if res2.Truncated {
+				t.Errorf("split=%d killAt=%d: completed resume reported Truncated", split, killAt)
+			}
+
+			// Resume is idempotent: replaying the same snapshot must land on
+			// the same total (the snapshot is read-only to the engine).
+			res3, err := ResumeFromCheckpoint(context.Background(), store, p, sink.latest(t), opts)
+			if err != nil || res3.Ordered != want {
+				t.Errorf("split=%d killAt=%d: second resume got (%d, %v), want (%d, nil)",
+					split, killAt, res3.Ordered, err, want)
+			}
+		}
+	}
+}
+
+// TestCheckpointSinkErrorsNonFatal proves a failing sink (disk full) never
+// kills the run: the count stays exact and the failures are only counted.
+func TestCheckpointSinkErrorsNonFatal(t *testing.T) {
+	store, p, want := slowWorkload(t)
+	sink := &memSink{fail: errors.New("no space left on device")}
+	res, err := Mine(store, p, Options{
+		Workers:         3,
+		Checkpoint:      sink,
+		CheckpointEvery: 2 * time.Millisecond,
+		OnEmbedding:     slowEmit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ordered != want {
+		t.Errorf("Ordered=%d want %d", res.Ordered, want)
+	}
+	if res.Truncated {
+		t.Error("run with failing sink reported Truncated")
+	}
+	if res.Stats.CheckpointErrors == 0 {
+		t.Error("failing sink produced no CheckpointErrors")
+	}
+	if res.Stats.Checkpoints != 0 {
+		t.Errorf("failing sink counted %d successful checkpoints", res.Stats.Checkpoints)
+	}
+}
+
+// TestResumeRejectsMismatchedSnapshot drives every validation rejection:
+// wrong plan, wrong graph, and structurally absurd frontier tasks.
+func TestResumeRejectsMismatchedSnapshot(t *testing.T) {
+	store, p := fig1(t)
+	res, err := Mine(store, p, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := res.Plan
+	goodFP := planFingerprint(plan)
+	graphFP := store.Hypergraph().Fingerprint()
+	base := func() *checkpoint.Snapshot {
+		return &checkpoint.Snapshot{
+			Seq: 1, PlanFP: goodFP, GraphFP: graphFP,
+			Frontier: []checkpoint.Task{{Depth: 1, Prefix: []uint32{0}, Cands: []uint32{1, 2}}},
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*checkpoint.Snapshot)
+		wantSub string
+	}{
+		{"wrong plan", func(s *checkpoint.Snapshot) { s.PlanFP ^= 1 }, "different plan"},
+		{"wrong graph", func(s *checkpoint.Snapshot) { s.GraphFP ^= 1 }, "different data hypergraph"},
+		{"depth out of range", func(s *checkpoint.Snapshot) { s.Frontier[0].Depth = 99; s.Frontier[0].Prefix = make([]uint32, 99) }, "exceeds"},
+		{"prefix length mismatch", func(s *checkpoint.Snapshot) { s.Frontier[0].Prefix = nil }, "prefix for depth"},
+		{"prefix id out of range", func(s *checkpoint.Snapshot) { s.Frontier[0].Prefix[0] = 1 << 20 }, "binds hyperedge"},
+		{"candidate id out of range", func(s *checkpoint.Snapshot) { s.Frontier[0].Cands[0] = 1 << 20 }, "lists candidate"},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.mutate(s)
+		_, err := ResumeWithPlanContext(context.Background(), store, plan, s, Options{Workers: 1})
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !bytes.Contains([]byte(err.Error()), []byte(tc.wantSub)) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+	if _, err := ResumeWithPlanContext(context.Background(), store, plan, nil, Options{Workers: 1}); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
+// TestResumeEmptyFrontier: a snapshot whose frontier drained to nothing
+// resumes to an immediately complete run carrying the saved counters.
+func TestResumeEmptyFrontier(t *testing.T) {
+	store, p := fig1(t)
+	res, err := Mine(store, p, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &checkpoint.Snapshot{
+		Seq:     7,
+		PlanFP:  planFingerprint(res.Plan),
+		GraphFP: store.Hypergraph().Fingerprint(),
+		Ordered: 42,
+		Stats:   packStats(Stats{Candidates: 9, Checkpoints: 7}),
+	}
+	got, err := ResumeFromCheckpoint(context.Background(), store, p, snap, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ordered != 42 || got.Truncated {
+		t.Errorf("got Ordered=%d Truncated=%v, want 42/false", got.Ordered, got.Truncated)
+	}
+	if got.Stats.Candidates != 9 || got.Stats.Checkpoints != 7 {
+		t.Errorf("base stats not carried: %+v", got.Stats)
+	}
+}
+
+// TestStatsPackRoundTrip pins the opaque stats packing the snapshot format
+// carries.
+func TestStatsPackRoundTrip(t *testing.T) {
+	want := Stats{
+		Candidates: 1, Embeddings: 2, SetOps: 3,
+		NMFetches: 4, RedundantNMFetches: 5,
+		ProfileVertices: 6, RedundantProfileVertices: 7,
+		GenTime: 8 * time.Second, ValTime: 9 * time.Second,
+		Publishes: 10, Steals: 11, IdleSpins: 12,
+		Checkpoints: 13, CheckpointBytes: 14, CheckpointErrors: 15,
+	}
+	if got := unpackStats(packStats(want)); got != want {
+		t.Errorf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+	// Older (shorter) and newer (longer) packed slices must not panic.
+	if got := unpackStats(packStats(want)[:5]); got.SetOps != 3 || got.Steals != 0 {
+		t.Errorf("short unpack: %+v", got)
+	}
+	if got := unpackStats(append(packStats(want), 99, 98)); got != want {
+		t.Errorf("long unpack: %+v", got)
+	}
+}

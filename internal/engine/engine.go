@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ohminer/internal/checkpoint"
 	"ohminer/internal/dal"
 	"ohminer/internal/intset"
 	"ohminer/internal/oig"
@@ -162,6 +163,18 @@ type Options struct {
 	// must remain at a splittable position before half of them are
 	// published (0 = default 4). Lower values split more aggressively.
 	SplitThreshold int
+	// Checkpoint, when set, makes the run crash-safe: on the CheckpointEvery
+	// timer — and on every final stop (cancellation, deadline, limit) — the
+	// driver quiesces the workers at their per-candidate stop check,
+	// captures the global frontier of unexplored subtree tasks together
+	// with the partial counters, and hands the snapshot to the sink. Sink
+	// failures are counted in Stats.CheckpointErrors and do not abort the
+	// run (the previous snapshot stays intact); mining continues or
+	// finishes as it would have.
+	Checkpoint checkpoint.Sink
+	// CheckpointEvery is the quiesce period (0 = only on final stops).
+	// Ignored without Checkpoint.
+	CheckpointEvery time.Duration
 }
 
 // Stats carries the instrumentation counters behind Fig. 3.
@@ -196,6 +209,13 @@ type Stats struct {
 	Publishes uint64
 	Steals    uint64
 	IdleSpins uint64
+	// Checkpoint counters: snapshots successfully persisted, their total
+	// size, and sink failures (a failed write leaves the previous snapshot
+	// intact and the run keeps going). A resumed run continues the counters
+	// of the snapshot it started from.
+	Checkpoints      uint64
+	CheckpointBytes  uint64
+	CheckpointErrors uint64
 }
 
 func (s *Stats) add(o Stats) {
@@ -211,6 +231,9 @@ func (s *Stats) add(o Stats) {
 	s.Publishes += o.Publishes
 	s.Steals += o.Steals
 	s.IdleSpins += o.IdleSpins
+	s.Checkpoints += o.Checkpoints
+	s.CheckpointBytes += o.CheckpointBytes
+	s.CheckpointErrors += o.CheckpointErrors
 }
 
 // Result reports one mining run.
@@ -288,6 +311,20 @@ func MineWithPlan(store *dal.Store, plan *oig.Plan, opts Options) (Result, error
 // regardless of whether a deadline, a limit, or a context is in play. On
 // cancellation the partial Result is returned along with ctx.Err().
 func MineWithPlanContext(ctx context.Context, store *dal.Store, plan *oig.Plan, opts Options) (Result, error) {
+	return mineResumable(ctx, store, plan, opts, nil)
+}
+
+// mineResumable is the mining driver behind MineWithPlanContext and
+// ResumeWithPlanContext. Without a checkpoint sink it runs exactly one
+// round of workers; with one, the run becomes a sequence of rounds
+// separated by quiesce points: the round stops (checkpoint timer or a final
+// stop reason), the workers drain their unexplored remainders into frontier
+// tasks instead of abandoning them, the frontier is snapshotted to the
+// sink, and — unless the stop was final — the next round reseeds from the
+// frontier and continues. snap, when non-nil, is the validated snapshot to
+// resume from; its frontier seeds round zero and its counters become the
+// result's base.
+func mineResumable(ctx context.Context, store *dal.Store, plan *oig.Plan, opts Options, snap *checkpoint.Snapshot) (Result, error) {
 	switch opts.Val {
 	case ValOverlap:
 		if plan.Mode != oig.ModeMerged {
@@ -322,20 +359,60 @@ func MineWithPlanContext(ctx context.Context, store *dal.Store, plan *oig.Plan, 
 
 	e := &shared{store: store, plan: plan, opts: opts, kernel: kernel}
 	e.splitDepth, e.splitThreshold = splitParams(plan, opts)
+	e.saveOnStop = opts.Checkpoint != nil
 	if opts.UniqueOnly && opts.OnEmbedding != nil {
 		e.autoPerms = plan.Pattern.AutomorphismPerms()[1:]
 	}
+
+	// Resume state: the snapshot's counters become the base the new
+	// exploration accumulates on, and its frontier replaces the first-level
+	// candidates as the seed work.
+	var (
+		baseOrdered uint64
+		baseStats   Stats
+		tasks       []task
+		seq         uint64
+	)
+	if snap != nil {
+		baseOrdered = snap.Ordered
+		baseStats = unpackStats(snap.Stats)
+		seq = snap.Seq
+		tasks = make([]task, len(snap.Frontier))
+		for i := range snap.Frontier {
+			t := &snap.Frontier[i]
+			tasks[i] = task{depth: int(t.Depth), prefix: t.Prefix, cands: t.Cands}
+		}
+	}
+
 	start := time.Now()
+	baseResult := func() Result {
+		res := Result{
+			Automorphisms: plan.Pattern.Automorphisms(),
+			Elapsed:       time.Since(start),
+			Plan:          plan,
+			Ordered:       baseOrdered,
+			Stats:         baseStats,
+		}
+		res.Unique = res.Ordered / uint64(res.Automorphisms)
+		return res
+	}
+
 	if opts.Deadline > 0 {
 		// A single timer goroutine flips the shared flag; workers check it
 		// with one atomic load per candidate instead of calling time.Now on
-		// the hot path.
-		timer := time.AfterFunc(opts.Deadline, func() { e.stopped.Store(true) })
+		// the hot path. The deadlineHit latch survives the between-round
+		// flag reset of checkpointed runs.
+		timer := time.AfterFunc(opts.Deadline, func() {
+			e.deadlineHit.Store(true)
+			e.stopped.Store(true)
+		})
 		defer timer.Stop()
 	}
 	if done := ctx.Done(); done != nil {
 		// The context watcher merges cancellation into the same stop flag
-		// the deadline and limit use — no extra hot-path check.
+		// the deadline and limit use — no extra hot-path check. Between
+		// rounds the driver consults ctx.Err() directly, so the one-shot
+		// store cannot be lost to a flag reset.
 		finished := make(chan struct{})
 		defer close(finished)
 		go func() {
@@ -346,82 +423,118 @@ func MineWithPlanContext(ctx context.Context, store *dal.Store, plan *oig.Plan, 
 			}
 		}()
 	}
-	first := e.firstCandidates()
 
-	if len(first) == 0 {
-		return Result{Automorphisms: plan.Pattern.Automorphisms(), Elapsed: time.Since(start), Plan: plan}, ctx.Err()
+	var first []uint32
+	if snap == nil {
+		first = e.firstCandidates()
+		if len(first) == 0 {
+			return baseResult(), ctx.Err()
+		}
+	} else if len(tasks) == 0 {
+		// The snapshot captured a fully drained run: nothing left to mine.
+		return baseResult(), ctx.Err()
 	}
 
 	var found atomic.Uint64
-	var results []*worker
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	var sched *scheduler
-	if opts.SplitDepth < 0 {
-		// Ablation baseline: the pre-scheduler first-level-only dynamic loop.
-		// Extra workers are useless beyond the first-level candidate count,
-		// and one skewed first-edge subtree serializes its worker.
-		if workers > len(first) {
-			workers = len(first)
+	found.Store(baseOrdered) // Limit accounts embeddings counted before the snapshot
+	ws := make([]*worker, workers)
+	for i := range ws {
+		ws[i] = newWorker(e, &found)
+	}
+
+	var (
+		ckptWritten, ckptBytes, ckptErrors uint64
+		frontier                           []task
+		truncated                          bool
+	)
+	for round := 0; ; round++ {
+		if round > 0 {
+			// Reset the stop flag for the next round, then latch any final
+			// condition that raced the reset: the ordering (reset first,
+			// check after) guarantees a cancellation or deadline that fired
+			// in the gap is either still visible in the flag or visible in
+			// the latches checked here.
+			e.stopped.Store(false)
+			if ctx.Err() != nil || e.deadlineHit.Load() {
+				truncated = true
+				break
+			}
 		}
-		results = make([]*worker, workers)
-		for wi := 0; wi < workers; wi++ {
-			w := newWorker(e, &found)
-			results[wi] = w
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer e.recoverWorker()
-				for !e.stopped.Load() {
-					i := next.Add(1) - 1
-					if int(i) >= len(first) {
-						return
-					}
-					w.mineFrom(first[i])
+		var ckptTimer *time.Timer
+		if e.saveOnStop && opts.CheckpointEvery > 0 {
+			ckptTimer = time.AfterFunc(opts.CheckpointEvery, func() { e.stopped.Store(true) })
+		}
+		rs := e.runRound(ws, first, tasks)
+		if ckptTimer != nil {
+			ckptTimer.Stop()
+		}
+
+		e.panicMu.Lock()
+		panicked := e.panicErr != nil
+		e.panicMu.Unlock()
+
+		if e.saveOnStop && !panicked {
+			frontier = e.collectFrontier(ws, rs, first, tasks)
+		} else {
+			// Work left behind after every worker exited is definitively
+			// skipped: unclaimed round items in the legacy loop, or queued
+			// tasks no worker ever popped. (Work abandoned mid-subtree was
+			// already flagged by the worker that unwound — or lost outright
+			// by a panicking one.)
+			frontier = nil
+			if rs.sched != nil {
+				if rs.sched.pending.Load() > 0 {
+					e.abandoned.Store(true)
 				}
-			}()
+			} else if int(rs.claimed) < rs.items {
+				e.abandoned.Store(true)
+			}
 		}
-	} else {
-		sched = newScheduler(workers)
-		sched.seed(first)
-		results = make([]*worker, workers)
-		for wi := 0; wi < workers; wi++ {
-			w := newWorker(e, &found)
-			w.sched, w.id = sched, wi
-			results[wi] = w
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer e.recoverWorker()
-				w.run()
-			}()
-		}
-	}
-	wg.Wait()
 
-	// Work left behind after every worker exited is definitively skipped:
-	// unclaimed first-level candidates in the legacy loop, or published
-	// tasks no worker ever popped. (Work abandoned mid-subtree was already
-	// flagged by the worker that unwound.)
-	if sched != nil {
-		if sched.pending.Load() > 0 {
-			e.abandoned.Store(true)
+		limitReached := opts.Limit > 0 && found.Load() >= opts.Limit
+		done := len(frontier) == 0
+		if e.saveOnStop && !done && !panicked {
+			// Snapshot every quiesce, including final stops: a cancelled
+			// (SIGTERM'd) or limit-stopped run leaves a resumable snapshot
+			// behind. The counters passed are the totals so far, checkpoint
+			// accounting included, so a resumed run continues them.
+			ordered := baseOrdered
+			st := baseStats
+			for _, w := range ws {
+				ordered += w.count
+				st.add(w.stats)
+			}
+			st.Checkpoints += ckptWritten
+			st.CheckpointBytes += ckptBytes
+			st.CheckpointErrors += ckptErrors
+			seq++
+			if n, err := opts.Checkpoint.WriteSnapshot(e.buildSnapshot(seq, frontier, ordered, st)); err != nil {
+				// A failed write leaves the previous snapshot intact (sinks
+				// are atomic); losing a checkpoint must not kill the run.
+				ckptErrors++
+			} else {
+				ckptWritten++
+				ckptBytes += uint64(n)
+			}
 		}
-	} else if next.Load() < int64(len(first)) {
-		e.abandoned.Store(true)
+		if done || panicked || !e.saveOnStop || limitReached || ctx.Err() != nil || e.deadlineHit.Load() {
+			truncated = truncated || len(frontier) > 0
+			break
+		}
+		tasks, first = frontier, nil
 	}
 
-	res := Result{
-		Automorphisms: plan.Pattern.Automorphisms(),
-		Elapsed:       time.Since(start),
-		Plan:          plan,
-	}
-	for _, w := range results {
+	res := baseResult()
+	for _, w := range ws {
 		res.Ordered += w.count
 		res.Stats.add(w.stats)
 	}
-	res.Truncated = e.abandoned.Load()
+	res.Stats.Checkpoints += ckptWritten
+	res.Stats.CheckpointBytes += ckptBytes
+	res.Stats.CheckpointErrors += ckptErrors
+	res.Truncated = e.abandoned.Load() || truncated
 	res.Unique = res.Ordered / uint64(res.Automorphisms)
+	res.Elapsed = time.Since(start)
 	e.panicMu.Lock()
 	panicErr := e.panicErr
 	e.panicMu.Unlock()
@@ -429,6 +542,88 @@ func MineWithPlanContext(ctx context.Context, store *dal.Store, plan *oig.Plan, 
 		return res, panicErr
 	}
 	return res, ctx.Err()
+}
+
+// roundState reports how one round of workers ended, for frontier
+// collection and definitive-skip accounting.
+type roundState struct {
+	// sched is the round's work-stealing scheduler (nil on the legacy
+	// path).
+	sched *scheduler
+	// claimed/items describe the legacy path's dynamic distribution: items
+	// is the round's work-item count, claimed how many were handed to a
+	// worker before the round ended.
+	claimed int64
+	items   int
+}
+
+// runRound spawns the round's workers, waits for them to finish or quiesce,
+// and reports how the distribution ended. Round-zero work comes from first
+// (fresh runs); resumed and post-checkpoint rounds carry their work in
+// tasks.
+func (e *shared) runRound(ws []*worker, first []uint32, tasks []task) roundState {
+	var wg sync.WaitGroup
+	var rs roundState
+	if e.opts.SplitDepth < 0 {
+		// Ablation baseline: the pre-scheduler first-level-only dynamic
+		// loop. Extra workers are useless beyond the item count, and one
+		// skewed first-edge subtree serializes its worker.
+		var next atomic.Int64
+		n := len(first)
+		if tasks != nil {
+			n = len(tasks)
+		}
+		rs.items = n
+		spawn := len(ws)
+		if spawn > n {
+			spawn = n
+		}
+		for wi := 0; wi < spawn; wi++ {
+			w := ws[wi]
+			w.stop, w.sched = false, nil
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer e.recoverWorker()
+				for !e.stopped.Load() {
+					i := next.Add(1) - 1
+					if int(i) >= n {
+						return
+					}
+					if tasks != nil {
+						w.runTask(&tasks[i])
+					} else {
+						w.mineFrom(first[i])
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		rs.claimed = next.Load()
+		if rs.claimed > int64(n) {
+			rs.claimed = int64(n)
+		}
+		return rs
+	}
+	sched := newScheduler(len(ws))
+	if tasks != nil {
+		sched.seedTasks(tasks)
+	} else {
+		sched.seed(first)
+	}
+	rs.sched = sched
+	for wi, w := range ws {
+		w.stop = false
+		w.sched, w.id = sched, wi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer e.recoverWorker()
+			w.run()
+		}()
+	}
+	wg.Wait()
+	return rs
 }
 
 // splitParams resolves the scheduling knobs: SplitDepth 0 means the default
@@ -473,6 +668,15 @@ type shared struct {
 	// Result.Truncated is reported. A run whose stop flag fires only after
 	// (or exactly at) exhaustion stays un-truncated.
 	abandoned atomic.Bool
+	// saveOnStop switches the workers from abandoning unexplored work on a
+	// stop to saving it as frontier tasks (worker.saveTask) — set when a
+	// checkpoint sink is configured, so every quiesce point captures the
+	// exact remaining search space.
+	saveOnStop bool
+	// deadlineHit latches deadline expiry separately from stopped, which
+	// checkpointed runs reset between rounds; the driver consults it to
+	// tell "quiesce for a checkpoint" from "out of time".
+	deadlineHit atomic.Bool
 	// panicErr holds the first worker panic, converted to an error so a
 	// crashing user callback cannot take down the process; panicMu guards it.
 	panicMu  sync.Mutex

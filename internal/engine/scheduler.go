@@ -110,9 +110,33 @@ func (d *deque) steal(dst *task) bool {
 	return true
 }
 
+// drainTasks appends a copy of every queued task to out and empties the
+// deque — frontier collection after a quiesce (checkpoint.go). Copies are
+// deliberate: the slot buffers belong to the deque and a next round would
+// overwrite them.
+func (d *deque) drainTasks(out []task) []task {
+	d.mu.Lock()
+	for ; d.head != d.tail; d.head++ {
+		sl := &d.ring[d.head%dequeCap]
+		out = append(out, task{
+			depth:  sl.depth,
+			prefix: append([]uint32(nil), sl.prefix...),
+			cands:  append([]uint32(nil), sl.cands...),
+		})
+	}
+	d.mu.Unlock()
+	return out
+}
+
 // scheduler shares the deques and the termination state of one mining run.
 type scheduler struct {
 	deques []deque
+	// overflow holds seeded tasks that did not fit the bounded deques — a
+	// resumed or post-quiesce frontier can be arbitrarily long. Workers
+	// fall back to it when their own deque is empty and nothing is
+	// stealable; ovMu guards it.
+	ovMu     sync.Mutex
+	overflow []task
 	// pending counts unfinished tasks: seeded root tasks plus every
 	// publication, decremented when a task's whole subtree is done. A task
 	// is counted before it becomes visible in any deque, so pending == 0
@@ -147,6 +171,41 @@ func (s *scheduler) seed(first []uint32) {
 	s.pending.Store(int64(n))
 }
 
+// seedTasks distributes an already-materialized task list — a resumed or
+// post-quiesce frontier — over the deques round-robin. Tasks beyond the
+// bounded deque capacity land in the overflow list, which workers drain
+// once the deques run dry. The task slices stay owned by the caller's
+// frontier (never mutated during a round) until a worker copies them into
+// its run buffer.
+func (s *scheduler) seedTasks(tasks []task) {
+	workers := len(s.deques)
+	for i := range tasks {
+		t := &tasks[i]
+		if !s.deques[i%workers].push(t.depth, t.prefix, t.cands) {
+			s.overflow = append(s.overflow, *t)
+		}
+	}
+	s.pending.Store(int64(len(tasks)))
+}
+
+// takeOverflow copies one overflow task into dst; it reports false when the
+// overflow list is empty.
+func (s *scheduler) takeOverflow(dst *task) bool {
+	s.ovMu.Lock()
+	n := len(s.overflow)
+	if n == 0 {
+		s.ovMu.Unlock()
+		return false
+	}
+	t := &s.overflow[n-1]
+	dst.depth = t.depth
+	dst.prefix = append(dst.prefix[:0], t.prefix...)
+	dst.cands = append(dst.cands[:0], t.cands...)
+	s.overflow = s.overflow[:n-1]
+	s.ovMu.Unlock()
+	return true
+}
+
 // run is a worker's scheduling loop: drain the own deque, then steal from
 // peers, then spin briefly until new work is published or the run ends.
 // It is a hot-path root: nothing reachable from here may allocate in steady
@@ -161,9 +220,9 @@ func (w *worker) run() {
 		if w.e.stopped.Load() {
 			return
 		}
-		if own.pop(&w.task) || w.trySteal() {
+		if own.pop(&w.task) || w.trySteal() || s.takeOverflow(&w.task) {
 			backoff = 0
-			w.runTask()
+			w.runTask(&w.task)
 			s.pending.Add(-1)
 			continue
 		}
@@ -193,12 +252,12 @@ func (w *worker) trySteal() bool {
 	return false
 }
 
-// runTask executes the task in the worker's run buffer: rebind the prefix,
-// rebuild the overlap slots the prefix's validation produced (stolen tasks
-// arrive without the publisher's scratch state), and explore the candidate
-// range.
-func (w *worker) runTask() {
-	t := &w.task
+// runTask executes a task: rebind the prefix, rebuild the overlap slots the
+// prefix's validation produced (stolen and resumed tasks arrive without the
+// publisher's scratch state), and explore the candidate range. Scheduler
+// workers pass their run buffer; the legacy round loop passes frontier
+// tasks directly (explore never mutates the candidate slice contents).
+func (w *worker) runTask(t *task) {
 	copy(w.c[:t.depth], t.prefix)
 	if t.depth > 1 && w.e.opts.Val != ValProfiles {
 		w.rebuildSlots(t.depth)

@@ -45,6 +45,10 @@ type worker struct {
 
 	count uint64
 	stop  bool // local mirror of shared.stopped, avoids repeat atomic loads while unwinding
+	// saved collects the frontier remainders this worker walked away from
+	// while unwinding after a quiesce (checkpointed runs only); the driver
+	// drains it between rounds (collectFrontier).
+	saved []task
 	stats Stats
 }
 
@@ -94,8 +98,14 @@ func newWorker(e *shared, found *atomic.Uint64) *worker {
 //ohmlint:hotpath
 func (w *worker) mineFrom(first uint32) {
 	if w.stop {
-		// This first-level subtree is being skipped: the run undercounts.
-		w.e.abandoned.Store(true)
+		// This first-level subtree is being skipped. A checkpointed run
+		// saves it as a depth-0 frontier task; otherwise the run
+		// undercounts.
+		if w.e.saveOnStop {
+			w.saveRoot(first)
+		} else {
+			w.e.abandoned.Store(true)
+		}
 		return
 	}
 	w.c[0] = first
@@ -137,19 +147,20 @@ func (w *worker) explore(t int, cands []uint32) {
 	var t0 time.Time
 	for i := 0; i < len(cands); i++ {
 		// Shared cooperative cancellation: the deadline timer, a context
-		// watcher, and the Limit all set one flag, checked with a single
-		// atomic load per candidate at every depth (stealing workers
-		// included). Returning here leaves candidates i..len-1 unexplored,
-		// which is exactly what Result.Truncated reports; the abandoned
-		// store runs only while unwinding after a stop, never on the
-		// steady-state hot path.
-		if w.stop {
-			w.e.abandoned.Store(true)
-			return
-		}
-		if w.e.stopped.Load() {
+		// watcher, the checkpoint timer, and the Limit all set one flag,
+		// checked with a single atomic load per candidate at every depth
+		// (stealing workers included). Returning here leaves candidates
+		// i..len-1 unexplored — exactly what Result.Truncated reports, or,
+		// on a checkpointed run, exactly the remainder saveTask captures as
+		// a frontier task. Both branches run only while unwinding after a
+		// stop, never on the steady-state hot path.
+		if w.stop || w.e.stopped.Load() {
 			w.stop = true
-			w.e.abandoned.Store(true)
+			if w.e.saveOnStop {
+				w.saveTask(t, cands[i:])
+			} else {
+				w.e.abandoned.Store(true)
+			}
 			return
 		}
 		if w.sched != nil && t < w.e.splitDepth {
@@ -192,13 +203,44 @@ func (w *worker) explore(t int, cands []uint32) {
 	}
 }
 
+// emitCallback hands the bound tuple to the user callback under emitMu. The
+// unlock is deferred so a panicking callback cannot leave the mutex held —
+// peers already blocked in Lock would deadlock the whole run instead of
+// unwinding through recoverWorker.
+func (w *worker) emitCallback() {
+	w.e.emitMu.Lock()
+	defer w.e.emitMu.Unlock()
+	//ohmlint:allow scratch-escape -- calls are serialized by emitMu and the API documents copy-to-retain
+	w.e.opts.OnEmbedding(w.c)
+}
+
+// saveTask records the unexplored remainder of the current frame — position
+// t still to bind each of cands, with w.c[:t] already bound — as a frontier
+// task. Deeper frames save their own remainders first while unwinding, and
+// the parent's loop index has already advanced past the candidate whose
+// subtree those frames cover, so the saved tasks partition the unexplored
+// space exactly: on resume nothing is mined twice and nothing is lost.
+//
+// The copies below allocate, but only once per frame while unwinding after
+// a quiesce — never in steady state.
+func (w *worker) saveTask(t int, cands []uint32) {
+	w.saved = append(w.saved, task{
+		depth:  t,
+		prefix: append([]uint32(nil), w.c[:t]...), //ohmlint:allow hotpath-alloc -- quiesce unwind only
+		cands:  append([]uint32(nil), cands...),   //ohmlint:allow hotpath-alloc -- quiesce unwind only
+	})
+}
+
+// saveRoot records a never-started first-level subtree as a depth-0
+// frontier task (legacy-path quiesce).
+func (w *worker) saveRoot(first uint32) {
+	w.saved = append(w.saved, task{cands: []uint32{first}}) //ohmlint:allow hotpath-alloc -- at most once per worker per quiesce
+}
+
 func (w *worker) emit() {
 	w.count++
 	if w.e.opts.OnEmbedding != nil && w.isCanonical() {
-		w.e.emitMu.Lock()
-		//ohmlint:allow scratch-escape -- calls are serialized by emitMu and the API documents copy-to-retain
-		w.e.opts.OnEmbedding(w.c)
-		w.e.emitMu.Unlock()
+		w.emitCallback()
 	}
 	if w.e.opts.Limit > 0 && w.found.Add(1) >= w.e.opts.Limit {
 		w.stop = true

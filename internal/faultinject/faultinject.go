@@ -1,0 +1,175 @@
+// Package faultinject provides deterministic failure points for robustness
+// testing of the mining engine's checkpoint/resume machinery. Every fault
+// fires at an explicit, reproducible point — the N-th embedding, the K-th
+// checkpoint write — rather than at a random time, so a chaos test that
+// fails replays identically. Derive maps a seed to such points when a table
+// of tests wants variety without hand-picking constants.
+//
+// The faults model the real-world failure classes a long mining run meets:
+//
+//   - PanicAfter: a worker dies mid-subtree (a buggy user callback) — the
+//     engine must convert it to ErrWorkerPanic, and the last durable
+//     snapshot must still resume to the exact total.
+//   - CrashSink: the process is killed right after the K-th checkpoint
+//     lands (SIGKILL, OOM) — everything mined since that snapshot is lost,
+//     and resume must reproduce it exactly once.
+//   - TornSink: a non-atomic writer tears the snapshot file mid-write
+//     (power loss without the temp+rename discipline) — the loader must
+//     reject the torn file as corrupt instead of resuming from garbage.
+//   - NoSpaceSink: the disk is full — checkpointing fails persistently,
+//     which must never affect the mining result.
+//   - SlowEmbedding: a straggling worker stretches the run across many
+//     checkpoint periods, maximizing quiesce/restart cycles.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ohminer/internal/checkpoint"
+)
+
+// ErrNoSpace is the failure NoSpaceSink reports, modeling ENOSPC.
+var ErrNoSpace = errors.New("faultinject: no space left on device")
+
+// Derive maps (seed, salt) to a deterministic value in [1, max] — the
+// standard way to pick fault points in a test table without hand-chosen
+// constants that might all dodge the same bug.
+func Derive(seed uint64, salt string, max uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(salt))
+	return h.Sum64()%max + 1
+}
+
+// PanicAfter wraps an embedding callback so the n-th invocation panics —
+// the deterministic stand-in for a worker crashing mid-subtree. fn may be
+// nil for a callback that only counts.
+func PanicAfter(n uint64, fn func([]uint32)) func([]uint32) {
+	var calls atomic.Uint64
+	return func(c []uint32) {
+		if calls.Add(1) == n {
+			// Panicking is this function's entire purpose: it simulates a
+			// crashing callback so tests can prove the engine's recovery.
+			panic(fmt.Sprintf("faultinject: injected worker panic at embedding %d", n)) //ohmlint:allow no-panic-lib -- injected fault
+		}
+		if fn != nil {
+			fn(c)
+		}
+	}
+}
+
+// SlowEmbedding returns an embedding callback that busy-waits d per call
+// (busy, not sleeping: sleep granularity would quantize the delay), slowing
+// the run enough to span many checkpoint periods.
+func SlowEmbedding(d time.Duration) func([]uint32) {
+	return func([]uint32) {
+		end := time.Now().Add(d)
+		for time.Now().Before(end) {
+		}
+	}
+}
+
+// CrashSink forwards snapshots to Inner and invokes OnCrash exactly once,
+// right after the After-th successful write — the moment a real process
+// would be SIGKILLed with its freshest checkpoint already durable. Writes
+// after the crash point keep succeeding (the dying process may get a few
+// more in before the kill lands).
+type CrashSink struct {
+	Inner   checkpoint.Sink
+	After   int
+	OnCrash func()
+
+	mu     sync.Mutex
+	writes int
+}
+
+// WriteSnapshot implements checkpoint.Sink.
+func (cs *CrashSink) WriteSnapshot(s *checkpoint.Snapshot) (int64, error) {
+	n, err := cs.Inner.WriteSnapshot(s)
+	if err != nil {
+		return n, err
+	}
+	cs.mu.Lock()
+	cs.writes++
+	fire := cs.writes == cs.After
+	cs.mu.Unlock()
+	if fire && cs.OnCrash != nil {
+		cs.OnCrash()
+	}
+	return n, nil
+}
+
+// Writes reports the number of successful snapshot writes so far.
+func (cs *CrashSink) Writes() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.writes
+}
+
+// TornSink persists snapshots to Path like checkpoint.FileSink, except the
+// TearAt-th write is torn: only the first TearBytes bytes reach the file,
+// written in place with no temp+rename discipline — the corruption a
+// non-atomic writer leaves behind on power loss. Later writes stay torn
+// too (the process died; nothing repairs the file).
+type TornSink struct {
+	Path      string
+	TearAt    int
+	TearBytes int
+
+	mu     sync.Mutex
+	writes int
+}
+
+// WriteSnapshot implements checkpoint.Sink.
+func (ts *TornSink) WriteSnapshot(s *checkpoint.Snapshot) (int64, error) {
+	ts.mu.Lock()
+	ts.writes++
+	tear := ts.writes >= ts.TearAt
+	ts.mu.Unlock()
+	if !tear {
+		return s.WriteFile(ts.Path)
+	}
+	var buf tornBuffer
+	if err := s.Encode(&buf); err != nil {
+		return 0, err
+	}
+	data := buf.data
+	if ts.TearBytes < len(data) {
+		data = data[:ts.TearBytes]
+	}
+	if err := os.WriteFile(ts.Path, data, 0o644); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+type tornBuffer struct{ data []byte }
+
+func (b *tornBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+// NoSpaceSink fails every write with ErrNoSpace — the full-disk scenario.
+type NoSpaceSink struct {
+	writes atomic.Uint64
+}
+
+// WriteSnapshot implements checkpoint.Sink.
+func (ns *NoSpaceSink) WriteSnapshot(*checkpoint.Snapshot) (int64, error) {
+	ns.writes.Add(1)
+	return 0, ErrNoSpace
+}
+
+// Attempts reports how many writes were refused.
+func (ns *NoSpaceSink) Attempts() uint64 { return ns.writes.Load() }

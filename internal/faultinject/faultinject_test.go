@@ -1,0 +1,52 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeriveDeterministicAndBounded(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		for _, max := range []uint64{1, 5, 1000} {
+			a := Derive(seed, "salt", max)
+			b := Derive(seed, "salt", max)
+			if a != b {
+				t.Fatalf("seed %d: not deterministic (%d vs %d)", seed, a, b)
+			}
+			if a < 1 || a > max {
+				t.Fatalf("seed %d: %d outside [1, %d]", seed, a, max)
+			}
+		}
+	}
+	if Derive(1, "a", 1000) == Derive(1, "b", 1000) && Derive(2, "a", 1000) == Derive(2, "b", 1000) {
+		t.Error("salts do not separate fault points")
+	}
+}
+
+func TestPanicAfter(t *testing.T) {
+	calls := 0
+	fn := PanicAfter(3, func([]uint32) { calls++ })
+	fn(nil)
+	fn(nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("third call did not panic")
+			}
+		}()
+		fn(nil)
+	}()
+	fn(nil) // calls after the fault pass through again
+	if calls != 3 {
+		t.Errorf("wrapped callback ran %d times, want 3", calls)
+	}
+}
+
+func TestSlowEmbeddingDelays(t *testing.T) {
+	fn := SlowEmbedding(time.Millisecond)
+	start := time.Now()
+	fn(nil)
+	if d := time.Since(start); d < time.Millisecond {
+		t.Errorf("delayed only %v", d)
+	}
+}

@@ -18,10 +18,12 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ohminer"
@@ -49,6 +51,17 @@ type Config struct {
 	// mining. Test hook for the graceful-drain smoke test; zero in
 	// production.
 	DebugDelay time.Duration
+	// CheckpointDir enables the jobs subsystem (POST /jobs): job specs,
+	// rolling snapshots, and results are persisted there so long runs
+	// survive a restart. Empty disables /jobs.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot period for jobs (0 = 5s).
+	CheckpointEvery time.Duration
+
+	// debugOnEmbedding throttles job mining per embedding. Test hook (the
+	// interrupt/resume tests need runs that outlast a checkpoint period);
+	// nil in production.
+	debugOnEmbedding func([]uint32)
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +73,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 5 * time.Second
 	}
 	return c
 }
@@ -80,8 +96,16 @@ type Server struct {
 	rejected    expvar.Int // refused before mining (bad request, full queue)
 	errors      expvar.Int // queries that failed after admission
 	truncations expvar.Int // truncated results served
-	inFlight    expvar.Int // queries currently mining
+	inFlight    expvar.Int // queries/jobs currently mining
+	jobsStarted expvar.Int // jobs created via POST /jobs
+	jobsResumed expvar.Int // jobs restarted via POST /jobs/{id}/resume
 	vars        *expvar.Map
+
+	// Jobs subsystem (enabled by Config.CheckpointDir; see jobs.go).
+	jobsMu sync.Mutex
+	jobs   map[string]*job
+	jobSeq atomic.Uint64
+	jobWG  sync.WaitGroup
 }
 
 // New creates a Server over the session. The first Server created in a
@@ -94,6 +118,7 @@ func New(sess *ohminer.Session, cfg Config) *Server {
 		sess: sess,
 		cfg:  cfg,
 		sem:  make(chan struct{}, cfg.MaxConcurrent),
+		jobs: map[string]*job{},
 	}
 	s.abortCtx, s.abortStop = context.WithCancel(context.Background())
 	m := new(expvar.Map).Init()
@@ -102,6 +127,8 @@ func New(sess *ohminer.Session, cfg Config) *Server {
 	m.Set("errors", &s.errors)
 	m.Set("truncations", &s.truncations)
 	m.Set("in_flight", &s.inFlight)
+	m.Set("jobs", &s.jobsStarted)
+	m.Set("jobs_resumed", &s.jobsResumed)
 	m.Set("cache_hits", expvar.Func(func() any { h, _ := sess.CacheStats(); return h }))
 	m.Set("cache_misses", expvar.Func(func() any { _, mi := sess.CacheStats(); return mi }))
 	m.Set("cached_plans", expvar.Func(func() any { return sess.CachedPlans() }))
@@ -131,12 +158,16 @@ func (s *Server) Abort() { s.abortStop() }
 // Session returns the underlying query session.
 func (s *Server) Session() *ohminer.Session { return s.sess }
 
-// Handler returns the service mux: POST /query, GET /healthz,
-// GET /debug/vars (expvar), and the net/http/pprof endpoints under
-// /debug/pprof/.
+// Handler returns the service mux: POST /query, the jobs endpoints
+// (POST /jobs, GET /jobs/{id}, POST /jobs/{id}/resume — 503 unless
+// Config.CheckpointDir is set), GET /healthz, GET /debug/vars (expvar),
+// and the net/http/pprof endpoints under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("POST /jobs", s.handleJobCreate)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("POST /jobs/{id}/resume", s.handleJobResume)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -182,6 +213,23 @@ func (s *Server) reject(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorResponse{Error: msg})
 }
 
+// decodeStrict parses exactly one JSON value from the request body into v:
+// unknown fields and trailing garbage (a second JSON value, stray bytes
+// after the object) are errors, so a malformed client — e.g. one
+// concatenating two requests into one body — gets a 400 instead of a
+// silently half-read query.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -198,9 +246,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req QueryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := decodeStrict(w, r, &req); err != nil {
 		s.reject(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"time"
 
+	"ohminer/internal/checkpoint"
 	"ohminer/internal/dal"
 	"ohminer/internal/dynamic"
 	"ohminer/internal/engine"
@@ -249,6 +250,66 @@ func MineContext(ctx context.Context, store *Store, p *Pattern, opts ...Option) 
 		return Result{}, err
 	}
 	return engine.MineContext(ctx, store, p, o)
+}
+
+// Crash-safe checkpoint/resume for long mining runs. A run configured with
+// WithCheckpoint periodically quiesces its workers, captures the exact
+// unexplored search frontier plus the partial counters, and hands the
+// versioned, CRC-protected snapshot to the sink; cancellation (e.g.
+// SIGTERM) also snapshots before returning. ResumeFromCheckpoint continues
+// such a run with exactly-once counting: the resumed total equals the
+// uninterrupted one. See docs/ROBUSTNESS.md.
+type (
+	// CheckpointSnapshot is the serializable state of an interrupted run.
+	CheckpointSnapshot = checkpoint.Snapshot
+	// CheckpointSink consumes snapshots as the engine produces them.
+	CheckpointSink = checkpoint.Sink
+)
+
+// ErrCorruptCheckpoint tags snapshot files rejected as damaged (torn
+// write, bit rot); match with errors.Is.
+var ErrCorruptCheckpoint = checkpoint.ErrCorrupt
+
+// NewCheckpointFileSink returns a sink persisting every snapshot to path,
+// atomically replacing the previous one (temp file + rename), so a crash
+// mid-checkpoint always leaves a loadable snapshot behind.
+func NewCheckpointFileSink(path string) CheckpointSink {
+	return &checkpoint.FileSink{Path: path}
+}
+
+// ReadCheckpoint loads a snapshot written by a checkpoint sink, verifying
+// its checksum and structure.
+func ReadCheckpoint(path string) (*CheckpointSnapshot, error) {
+	return checkpoint.ReadFile(path)
+}
+
+// WithCheckpoint makes the run crash-safe: every `every` interval (and on
+// cancellation or limit stops) the engine quiesces and writes a snapshot to
+// the sink. Sink failures never abort mining — they are only counted in
+// Stats.CheckpointErrors, and the previous snapshot stays intact. every ≤ 0
+// snapshots only at final stops (a SIGTERM'd run still leaves a resumable
+// snapshot).
+func WithCheckpoint(sink CheckpointSink, every time.Duration) Option {
+	return func(c *config) {
+		c.Checkpoint = sink
+		c.CheckpointEvery = every
+	}
+}
+
+// ResumeFromCheckpoint continues the interrupted mining run captured in
+// snap against the same store and pattern (verified via fingerprints; a
+// snapshot from a different plan, matching order, or dataset is refused).
+// The returned Result includes everything counted before the interruption:
+// a resumed run that completes reports exactly the totals an uninterrupted
+// run would have. Options must select the same variant/order the original
+// run used; they may add a fresh WithCheckpoint sink to keep the resumed
+// run crash-safe too.
+func ResumeFromCheckpoint(ctx context.Context, store *Store, p *Pattern, snap *CheckpointSnapshot, opts ...Option) (Result, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return engine.ResumeFromCheckpoint(ctx, store, p, snap, o)
 }
 
 // MotifEntry is one row of a motif census.

@@ -71,6 +71,28 @@ func (s *Session) MineContext(ctx context.Context, p *Pattern, opts ...Option) (
 	return engine.MineWithPlanContext(ctx, s.store, plan, o)
 }
 
+// ResumeContext continues an interrupted checkpointed run (see
+// ResumeFromCheckpoint) through the session's plan cache: the pattern
+// compiles (or is fetched) exactly as MineContext would, the snapshot's
+// fingerprints are verified against that plan and the store, and mining
+// proceeds from the saved frontier with exactly-once counting. This is the
+// entry point the ohmserve jobs subsystem drives to survive restarts.
+func (s *Session) ResumeContext(ctx context.Context, p *Pattern, snap *CheckpointSnapshot, opts ...Option) (Result, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	mode := oig.ModeMerged
+	if o.Val == engine.ValOverlapSimple {
+		mode = oig.ModeSimple
+	}
+	plan, err := s.plan(p, mode)
+	if err != nil {
+		return Result{}, err
+	}
+	return engine.ResumeWithPlanContext(ctx, s.store, plan, snap, o)
+}
+
 // CachedPlans reports how many distinct plans the session holds.
 func (s *Session) CachedPlans() int {
 	s.mu.Lock()
