@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples serve-smoke chaos fmt fmt-check vet lint ci clean
+.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples serve-smoke cluster-smoke chaos fmt fmt-check vet lint ci clean
 
 all: build test lint
 
@@ -55,11 +55,19 @@ examples:
 serve-smoke:
 	$(GO) test -race -count=1 -run TestServeSmoke ./cmd/ohmserve
 
+# End-to-end drill for the distributed cluster: builds ohmserve and
+# ohmworker, starts a coordinator plus three workers over one dataset,
+# SIGKILLs a worker mid-run, and asserts the final counts equal a
+# single-node run (see docs/DISTRIBUTED.md).
+cluster-smoke:
+	$(GO) test -count=1 -run TestClusterSmoke ./cmd/ohmworker
+
 # Fault-injection chaos drill: kill-at-kth-checkpoint, torn writes, worker
-# panics, and full-disk runs must all recover (or refuse) with exact counts,
-# race-instrumented, on both scheduler paths (see docs/ROBUSTNESS.md).
+# panics, full-disk runs, and the cluster's kill/zombie scenarios must all
+# recover (or refuse) with exact counts, race-instrumented, on both
+# scheduler paths (see docs/ROBUSTNESS.md and docs/DISTRIBUTED.md).
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos' ./internal/engine
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/engine ./internal/cluster
 
 fmt:
 	gofmt -w .
@@ -75,8 +83,8 @@ lint:
 	$(GO) run ./cmd/ohmlint ./...
 
 # The full local gate: formatting, vet, ohmlint, the race-enabled tests,
-# and the ohmserve end-to-end smoke.
-ci: fmt-check vet lint race serve-smoke chaos
+# and the end-to-end smokes (query service + distributed cluster).
+ci: fmt-check vet lint race serve-smoke cluster-smoke chaos
 
 clean:
 	$(GO) clean ./...

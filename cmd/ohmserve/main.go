@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"ohminer"
+	"ohminer/internal/cluster"
 	"ohminer/internal/gen"
 	"ohminer/internal/hypergraph"
 	"ohminer/internal/serve"
@@ -55,6 +56,9 @@ func run() error {
 		debugDelay = flag.Duration("debug-delay", 0, "inject artificial latency per query (drain/smoke testing only)")
 		ckptDir    = flag.String("checkpoint-dir", "", "enable durable jobs (/jobs endpoints): persist specs and snapshots here")
 		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Second, "snapshot period for jobs")
+		clusterOn  = flag.Bool("cluster", false, "run as distributed-mining coordinator (/cluster endpoints; pair with ohmworker)")
+		parts      = flag.Int("cluster-parts", 16, "task partitions per distributed job (more parts = finer reassignment granularity)")
+		leaseTTL   = flag.Duration("lease-ttl", 10*time.Second, "cluster lease deadline: a worker missing heartbeats this long forfeits its task")
 	)
 	flag.Parse()
 
@@ -89,7 +93,7 @@ func run() error {
 			return fmt.Errorf("checkpoint dir: %w", err)
 		}
 	}
-	srv := serve.New(ohminer.NewSession(store), serve.Config{
+	cfg := serve.Config{
 		MaxConcurrent:   *maxConc,
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
@@ -98,7 +102,15 @@ func run() error {
 		DebugDelay:      *debugDelay,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
-	})
+	}
+	if *clusterOn {
+		cfg.Cluster = cluster.New(store, cluster.Config{
+			LeaseTTL: *leaseTTL,
+			Parts:    *parts,
+		})
+		fmt.Fprintf(os.Stderr, "ohmserve: cluster coordinator enabled (parts=%d, lease-ttl=%v)\n", *parts, *leaseTTL)
+	}
+	srv := serve.New(ohminer.NewSession(store), cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -5,6 +5,7 @@
 //
 //	ohmstat -dataset SB
 //	ohmstat -input data.hg -density "6 6 8"
+//	ohmstat -dataset SB -partition "0 1 2; 2 3 4" -parts 16
 package main
 
 import (
@@ -18,8 +19,10 @@ import (
 
 	"ohminer/internal/cliio"
 	"ohminer/internal/dal"
+	"ohminer/internal/engine"
 	"ohminer/internal/gen"
 	"ohminer/internal/hypergraph"
+	"ohminer/internal/pattern"
 )
 
 func main() {
@@ -36,6 +39,9 @@ func run() error {
 		density = flag.String("density", "", "degrees (space-separated) for a connection-density probe, e.g. \"6 6 8\"")
 		noDAL   = flag.Bool("nodal", false, "skip DAL construction timing")
 		seed    = flag.Int64("seed", 1, "sampling seed for the density probe")
+		part    = flag.String("partition", "", "pattern literal: report how this pattern's first-hyperedge candidate space splits into cluster task ranges")
+		parts   = flag.Int("parts", 16, "task-range count for -partition (matches ohmserve -cluster-parts)")
+		daOrder = flag.Bool("data-aware", false, "use the data-aware matching order for -partition (matches the job's data_aware_order)")
 	)
 	flag.Parse()
 
@@ -133,6 +139,61 @@ func run() error {
 		}
 		out.Printf("  degree index: largest first-step pool %d edges (degree %d), smallest %d (degree %d)\n",
 			top, topDeg, low, lowDeg)
+
+		if *part != "" {
+			if err := reportPartition(out, store, *part, *parts, *daOrder); err != nil {
+				return err
+			}
+		}
+	} else if *part != "" {
+		return fmt.Errorf("-partition needs the DAL (drop -nodal)")
 	}
 	return out.Close()
+}
+
+// reportPartition previews how a distributed job over this dataset would
+// split: the first pattern hyperedge's candidate space is partitioned into
+// task ranges exactly as the cluster coordinator does it, and the balance of
+// candidate counts per range bounds how evenly the leases can spread. (The
+// subtree cost under each candidate still varies — candidate counts are the
+// partitioning's input, not a perfect cost model.)
+func reportPartition(out *cliio.Writer, store *dal.Store, pat string, parts int, dataAware bool) error {
+	p, err := pattern.Parse(pat)
+	if err != nil {
+		return fmt.Errorf("-partition pattern: %w", err)
+	}
+	if parts <= 0 {
+		return fmt.Errorf("-parts must be positive")
+	}
+	opts := engine.Options{DataAwareOrder: dataAware}
+	plan, err := engine.CompilePlan(store, p, opts)
+	if err != nil {
+		return err
+	}
+	cands := engine.FirstCandidates(store, plan, opts)
+	tasks := engine.PartitionFrontier(cands, parts)
+	out.Printf("  partition preview for %q into %d parts:\n", pat, parts)
+	if len(tasks) == 0 {
+		out.Printf("    no first-step candidates: the pattern cannot match this data\n")
+		return nil
+	}
+	minC, maxC := len(tasks[0].Cands), len(tasks[0].Cands)
+	for i, t := range tasks {
+		out.Printf("    task %2d: %d candidates\n", i, len(t.Cands))
+		if len(t.Cands) < minC {
+			minC = len(t.Cands)
+		}
+		if len(t.Cands) > maxC {
+			maxC = len(t.Cands)
+		}
+	}
+	imbalance := "perfect"
+	if minC > 0 && maxC != minC {
+		imbalance = fmt.Sprintf("%.2fx", float64(maxC)/float64(minC))
+	} else if minC == 0 {
+		imbalance = "degenerate (empty ranges)"
+	}
+	out.Printf("    %d candidates total across %d tasks; min %d, max %d, imbalance %s\n",
+		len(cands), len(tasks), minC, maxC, imbalance)
+	return nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled mirrors the parent test binary's -race flag so the smoke
+// test builds the child binaries with the same instrumentation.
+const raceEnabled = true

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ohminer"
+)
+
+// TestClusterSmoke is the end-to-end drill for the distributed cluster:
+// build the real ohmserve and ohmworker binaries (race-instrumented when
+// this test binary is), start a coordinator and three workers over the same
+// dataset file, SIGKILL one worker right after it takes its first lease, and
+// require that the job still completes with counts identical to a
+// single-node run — the kill costs a reassignment, never an embedding.
+// `make cluster-smoke` (wired into `make ci`) runs exactly this test.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test builds and runs child binaries")
+	}
+	dir := t.TempDir()
+
+	// Star hypergraph: 60 edges all sharing vertex 0, so "0 1; 0 2" has
+	// 60×59 ordered embeddings. Written as the text format both binaries
+	// load, and mined in-process first for the single-node reference count.
+	var data bytes.Buffer
+	edges := make([][]uint32, 60)
+	for i := range edges {
+		edges[i] = []uint32{0, uint32(i) + 1}
+		fmt.Fprintf(&data, "0 %d\n", i+1)
+	}
+	dataPath := filepath.Join(dir, "data.hg")
+	if err := os.WriteFile(dataPath, data.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ohminer.BuildHypergraph(61, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ohminer.ParsePattern("0 1; 0 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := ohminer.NewSession(ohminer.NewStore(h)).Mine(p)
+	if err != nil {
+		t.Fatalf("single-node reference run: %v", err)
+	}
+
+	serveBin := filepath.Join(dir, "ohmserve")
+	workerBin := filepath.Join(dir, "ohmworker")
+	for bin, pkg := range map[string]string{serveBin: "ohminer/cmd/ohmserve", workerBin: "."} {
+		buildArgs := []string{"build"}
+		if raceEnabled {
+			buildArgs = append(buildArgs, "-race")
+		}
+		buildArgs = append(buildArgs, "-o", bin, pkg)
+		if out, err := exec.Command("go", buildArgs...).CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// Coordinator: short lease TTL so the killed worker's task is reclaimed
+	// within the test's patience; 16 parts so every worker gets several.
+	coord := exec.Command(serveBin,
+		"-cluster",
+		"-addr", "127.0.0.1:0",
+		"-input", dataPath,
+		"-cluster-parts", "16",
+		"-lease-ttl", "500ms")
+	coordLog := watchStderr(t, coord, "coordinator")
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+	addr, ok := coordLog.waitFor("ohmserve: listening on ", 30*time.Second)
+	if !ok {
+		t.Fatalf("coordinator never announced its address; logs:\n%s", coordLog.String())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/cluster/jobs", "application/json",
+		strings.NewReader(`{"id": "smoke", "pattern": "0 1; 0 2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create cluster job: status %d", resp.StatusCode)
+	}
+
+	// Three workers over the same file. The per-embedding throttle stretches
+	// each ~220-embedding task to ~70ms so the kill lands mid-run.
+	startWorker := func(name string) (*exec.Cmd, *logWatcher) {
+		w := exec.Command(workerBin,
+			"-coordinator", base,
+			"-input", dataPath,
+			"-name", name,
+			"-workers", "2",
+			"-poll", "100ms",
+			"-throttle", "300us")
+		lw := watchStderr(t, w, name)
+		if err := w.Start(); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		return w, lw
+	}
+	w1, _ := startWorker("w1")
+	defer w1.Process.Kill()
+	w2, _ := startWorker("w2")
+	defer w2.Process.Kill()
+	w3, w3Log := startWorker("w3")
+	defer w3.Process.Kill()
+
+	// SIGKILL w3 the moment it holds a lease: the crash scenario — no
+	// report, no heartbeat, just silence. Its task must be reassigned.
+	if _, ok := w3Log.waitFor("lease ", 60*time.Second); !ok {
+		t.Fatalf("w3 never leased a task; logs:\n%s", w3Log.String())
+	}
+	if err := w3.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = w3.Wait() // expected: "signal: killed"
+
+	// The survivors finish the job, the killed worker's lease included.
+	var st struct {
+		State      string `json:"state"`
+		Ordered    uint64 `json:"ordered"`
+		Unique     uint64 `json:"unique"`
+		Reassigned int    `json:"reassigned"`
+		Error      string `json:"error"`
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(base + "/cluster/jobs/smoke")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+		}
+		if err == nil && st.State == "done" {
+			break
+		}
+		if err == nil && st.State == "failed" {
+			t.Fatalf("cluster job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster job never completed (last: %+v); coordinator logs:\n%s", st, coordLog.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.Ordered != single.Ordered || st.Unique != single.Unique {
+		t.Errorf("cluster counted ordered=%d unique=%d, single-node %d/%d",
+			st.Ordered, st.Unique, single.Ordered, single.Unique)
+	}
+	// The kill usually costs a reassignment, but w3 may have finished its
+	// first task in the instant before the signal landed; that is a timing
+	// artifact, not a correctness failure.
+	if st.Reassigned == 0 {
+		t.Logf("note: no reassignment recorded (w3 finished before the kill landed)")
+	}
+
+	// Surviving workers drain cleanly on SIGTERM (exit 0), and the
+	// coordinator does too.
+	for _, w := range []*exec.Cmd{w1, w2} {
+		if err := w.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range []*exec.Cmd{w1, w2} {
+		if err := w.Wait(); err != nil {
+			t.Errorf("worker w%d exit: %v", i+1, err)
+		}
+	}
+	if err := coord.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Wait(); err != nil {
+		t.Errorf("coordinator exit: %v\nlogs:\n%s", err, coordLog.String())
+	}
+}
+
+// logWatcher collects a child's stderr and lets the test wait for marker
+// lines.
+type logWatcher struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	waiters map[string]chan string
+}
+
+func watchStderr(t *testing.T, cmd *exec.Cmd, name string) *logWatcher {
+	t.Helper()
+	pipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatalf("%s stderr: %v", name, err)
+	}
+	lw := &logWatcher{waiters: map[string]chan string{}}
+	go func() {
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			lw.mu.Lock()
+			lw.buf.WriteString(line + "\n")
+			for prefix, ch := range lw.waiters {
+				if idx := strings.Index(line, prefix); idx >= 0 {
+					select {
+					case ch <- line[idx+len(prefix):]:
+					default:
+					}
+					delete(lw.waiters, prefix)
+				}
+			}
+			lw.mu.Unlock()
+		}
+	}()
+	return lw
+}
+
+// waitFor blocks until a stderr line containing marker arrives (returning
+// the remainder of the line after it) or the timeout passes.
+func (lw *logWatcher) waitFor(marker string, timeout time.Duration) (string, bool) {
+	ch := make(chan string, 1)
+	lw.mu.Lock()
+	if idx := strings.Index(lw.buf.String(), marker); idx >= 0 {
+		rest := lw.buf.String()[idx+len(marker):]
+		if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+			rest = rest[:nl]
+		}
+		lw.mu.Unlock()
+		return rest, true
+	}
+	lw.waiters[marker] = ch
+	lw.mu.Unlock()
+	select {
+	case rest := <-ch:
+		return rest, true
+	case <-time.After(timeout):
+		return "", false
+	}
+}
+
+func (lw *logWatcher) String() string {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.buf.String()
+}

@@ -20,12 +20,14 @@ package checkpoint
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"ohminer/internal/crcio"
 )
@@ -268,4 +270,53 @@ type FileSink struct {
 // WriteSnapshot implements Sink.
 func (fs *FileSink) WriteSnapshot(s *Snapshot) (int64, error) {
 	return s.WriteFile(fs.Path)
+}
+
+// MemSink retains the latest snapshot, already encoded, in memory — the sink
+// for callers that consume the final frontier programmatically instead of
+// persisting it: a cluster worker mines its leased task range with a MemSink
+// attached, and when the run is cut short (worker shutdown) the engine's
+// final-stop snapshot lands here as exactly the bytes the worker spills back
+// to the coordinator as the task's unfinished remainder.
+type MemSink struct {
+	mu     sync.Mutex
+	data   []byte
+	seq    uint64
+	writes int
+}
+
+// WriteSnapshot implements Sink.
+func (ms *MemSink) WriteSnapshot(s *Snapshot) (int64, error) {
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		return 0, err
+	}
+	ms.mu.Lock()
+	ms.data = buf.Bytes()
+	ms.seq = s.Seq
+	ms.writes++
+	ms.mu.Unlock()
+	return int64(buf.Len()), nil
+}
+
+// Bytes returns the latest encoded snapshot (nil when nothing was written).
+// The slice is not retained by the sink after a subsequent write.
+func (ms *MemSink) Bytes() []byte {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.data
+}
+
+// Seq reports the sequence number of the latest snapshot, 0 when none.
+func (ms *MemSink) Seq() uint64 {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.seq
+}
+
+// Writes reports how many snapshots the sink received.
+func (ms *MemSink) Writes() int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.writes
 }

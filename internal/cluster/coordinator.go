@@ -1,0 +1,735 @@
+// Package cluster implements the distributed mining layer: a coordinator
+// that partitions the candidate space of the first pattern hyperedge into
+// task leases and hands them to worker nodes over HTTP/JSON, plus the worker
+// loop (cmd/ohmworker) that mines leased ranges through the local engine and
+// reports partial counters.
+//
+// The design follows the observation (HGMatch; Sec. 4.4 of the paper) that
+// hypergraph matching parallelizes over independent per-edge expansion
+// tasks: the engine's checkpoint frontier is already exactly that task
+// shape, so a depth-0 frontier task — a first-hyperedge candidate range —
+// becomes the wire-level work unit, encoded as an OHMC snapshot
+// (internal/checkpoint). Workers mine a lease with the unmodified
+// single-node engine and report per-task counters; the coordinator merges
+// them exactly once.
+//
+// Fault tolerance is lease-based. Every grant carries an epoch (incremented
+// per assignment) and a TTL renewed by heartbeats. A worker that stops
+// heartbeating — crashed, partitioned, or stalled — forfeits the lease: the
+// task returns to the queue and the next grant bumps the epoch, fencing the
+// presumed-dead worker out. If that worker was merely slow (a zombie), its
+// late report carries the old epoch and is discarded, so the task's counts
+// are merged exactly once no matter how the failure interleaves. A worker
+// shutting down gracefully reports its partial count plus the unfinished
+// frontier (the engine's final-stop snapshot), which the coordinator
+// re-enqueues as a fresh task — nothing is lost, nothing double-counted:
+// the invariant is the checkpoint/resume one, inherited wholesale.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ohminer/internal/checkpoint"
+	"ohminer/internal/dal"
+	"ohminer/internal/engine"
+	"ohminer/internal/oig"
+	"ohminer/internal/pattern"
+)
+
+// Config bounds the coordinator's lease protocol.
+type Config struct {
+	// LeaseTTL is how long a lease survives without a heartbeat before the
+	// task is reclaimed and reassigned (0 = 10s).
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the renewal period advertised to workers
+	// (0 = LeaseTTL/3).
+	HeartbeatEvery time.Duration
+	// Parts is the default task partition count per job (0 = 16). More
+	// parts than workers keeps slow nodes from stalling the tail.
+	Parts int
+	// MaxTaskFailures fails the whole job once a single task has been
+	// reported failed this many times (0 = 3).
+	MaxTaskFailures int
+
+	// now is the test clock (nil = time.Now); lease-expiry tests advance it
+	// instead of sleeping.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.LeaseTTL / 3
+	}
+	if c.Parts <= 0 {
+		c.Parts = 16
+	}
+	if c.MaxTaskFailures <= 0 {
+		c.MaxTaskFailures = 3
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// errJobExists marks a StartJob id collision (409 on the HTTP surface).
+var errJobExists = errors.New("job already exists")
+
+// task states of the lease machine.
+const (
+	taskPending = "pending"
+	taskLeased  = "leased"
+	taskDone    = "done"
+)
+
+// taskLease is one unit of leasable work and its merge slot.
+type taskLease struct {
+	frontier []checkpoint.Task
+	cands    int
+	state    string
+	// epoch increments on every grant; heartbeats and reports must present
+	// the current epoch or be refused (the zombie fence).
+	epoch   uint64
+	worker  string
+	expires time.Time
+	ordered uint64
+	// failures counts worker-side error reports for this task.
+	failures int
+	spilled  bool
+}
+
+// clusterJob is the coordinator-side state of one distributed job.
+type clusterJob struct {
+	id     string
+	spec   JobSpec
+	plan   *oig.Plan
+	opts   engine.Options
+	planFP uint64
+
+	tasks []*taskLease
+	// queue holds the indices of pending tasks, granted FIFO.
+	queue []int
+
+	state   string // running | done | failed
+	ordered uint64
+	stats   engine.Stats
+	errMsg  string
+
+	created  time.Time
+	elapsed  time.Duration // fixed once done/failed
+	doneN    int
+	reassign int
+	fenced   int
+	spilled  int
+	failures int
+}
+
+type workerInfo struct {
+	lastSeen time.Time
+	leased   int
+}
+
+// Coordinator owns the cluster's job/lease state and serves the protocol
+// endpoints. Create with New; mount with Register (ohmserve does this when
+// started with -cluster).
+type Coordinator struct {
+	store   *dal.Store
+	graphFP uint64
+	cfg     Config
+
+	mu      sync.Mutex
+	jobs    map[string]*clusterJob
+	order   []string // job ids in creation order (lease fairness, status)
+	workers map[string]*workerInfo
+	jobSeq  uint64
+
+	leases     expvar.Int // granted leases
+	reports    expvar.Int // reports merged
+	fenced     expvar.Int // zombie reports discarded
+	reassigned expvar.Int // leases reclaimed from expired workers
+	spills     expvar.Int // remainder tasks enqueued from partial reports
+	jobsDone   expvar.Int
+	vars       *expvar.Map
+}
+
+// New creates a coordinator over the store every worker must hold an
+// identical copy of (verified by fingerprint on each lease request). The
+// first Coordinator in a process publishes its metrics under the global
+// expvar name "ohmcluster".
+func New(store *dal.Store, cfg Config) *Coordinator {
+	c := &Coordinator{
+		store:   store,
+		graphFP: store.Hypergraph().Fingerprint(),
+		cfg:     cfg.withDefaults(),
+		jobs:    map[string]*clusterJob{},
+		workers: map[string]*workerInfo{},
+	}
+	m := new(expvar.Map).Init()
+	m.Set("leases", &c.leases)
+	m.Set("reports", &c.reports)
+	m.Set("fenced", &c.fenced)
+	m.Set("reassigned", &c.reassigned)
+	m.Set("spills", &c.spills)
+	m.Set("jobs_done", &c.jobsDone)
+	c.vars = m
+	publish(m)
+	return c
+}
+
+var publishMu sync.Mutex
+
+// publish registers m as the process-global "ohmcluster" expvar exactly once
+// (expvar.Publish panics on duplicates, and tests create many Coordinators).
+func publish(m *expvar.Map) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get("ohmcluster") == nil {
+		expvar.Publish("ohmcluster", m)
+	}
+}
+
+// Register mounts the cluster endpoints on mux: GET /cluster (status),
+// POST /cluster/jobs, GET /cluster/jobs/{id}, and the worker protocol
+// (POST /cluster/lease, /cluster/heartbeat, /cluster/report).
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /cluster", c.handleStatus)
+	mux.HandleFunc("POST /cluster/jobs", c.handleJobCreate)
+	mux.HandleFunc("GET /cluster/jobs/{id}", c.handleJobStatus)
+	mux.HandleFunc("POST /cluster/lease", c.handleLease)
+	mux.HandleFunc("POST /cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /cluster/report", c.handleReport)
+}
+
+// StartJob compiles, partitions, and enqueues a distributed job. An empty id
+// picks a unique one. The candidate space of the first pattern hyperedge is
+// split into the configured number of contiguous ranges, each an
+// independently leasable task.
+func (c *Coordinator) StartJob(id string, spec JobSpec) (JobStatus, error) {
+	p, err := pattern.Parse(spec.Pattern)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("bad pattern: %w", err)
+	}
+	var opts engine.Options
+	if spec.Variant != "" {
+		v, err := engine.VariantByName(spec.Variant)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		opts.Gen, opts.Val = v.Gen, v.Val
+	}
+	opts.DataAwareOrder = spec.DataAwareOrder
+	plan, err := engine.CompilePlan(c.store, p, opts)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	// Mirror the engine's preflight checks so a label mismatch fails the
+	// job at creation, not on every worker.
+	if plan.Labeled && !c.store.Hypergraph().Labeled() {
+		return JobStatus{}, errors.New("labeled pattern on unlabeled hypergraph")
+	}
+	if plan.Pattern.EdgeLabeled() && !c.store.Hypergraph().EdgeLabeled() {
+		return JobStatus{}, errors.New("hyperedge-labeled pattern on hypergraph without hyperedge labels")
+	}
+	parts := spec.Parts
+	if parts <= 0 {
+		parts = c.cfg.Parts
+	}
+	frontier := engine.PartitionFrontier(engine.FirstCandidates(c.store, plan, opts), parts)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id == "" {
+		c.jobSeq++
+		id = fmt.Sprintf("cjob-%d", c.jobSeq)
+	}
+	if !validJobID(id) {
+		return JobStatus{}, errors.New("bad job id: need 1-64 chars of [A-Za-z0-9_-]")
+	}
+	if _, ok := c.jobs[id]; ok {
+		return JobStatus{}, fmt.Errorf("job %q: %w", id, errJobExists)
+	}
+	j := &clusterJob{
+		id: id, spec: spec, plan: plan, opts: opts,
+		planFP:  engine.PlanFingerprint(plan),
+		state:   "running",
+		created: c.cfg.now(),
+	}
+	for i := range frontier {
+		j.tasks = append(j.tasks, &taskLease{
+			frontier: frontier[i : i+1],
+			cands:    len(frontier[i].Cands),
+			state:    taskPending,
+		})
+		j.queue = append(j.queue, i)
+	}
+	if len(frontier) == 0 {
+		// No first-step candidates: the job is trivially complete.
+		j.state = "done"
+		c.jobsDone.Add(1)
+	}
+	c.jobs[id] = j
+	c.order = append(c.order, id)
+	return c.jobStatusLocked(j, false), nil
+}
+
+// JobStatusByID returns one job's status (tasks included).
+func (c *Coordinator) JobStatusByID(id string) (JobStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	j, ok := c.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return c.jobStatusLocked(j, true), true
+}
+
+// Status returns the full cluster view.
+func (c *Coordinator) Status() ClusterStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	st := ClusterStatus{
+		GraphFP:    c.graphFP,
+		LeaseTTLMS: c.cfg.LeaseTTL.Milliseconds(),
+		Jobs:       []JobStatus{},
+		Workers:    []WorkerStatus{},
+		Leases:     c.leases.Value(),
+		Reports:    c.reports.Value(),
+		Fenced:     c.fenced.Value(),
+		Reassigned: c.reassigned.Value(),
+		Spills:     c.spills.Value(),
+	}
+	for _, id := range c.order {
+		st.Jobs = append(st.Jobs, c.jobStatusLocked(c.jobs[id], false))
+	}
+	now := c.cfg.now()
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := c.workers[name]
+		st.Workers = append(st.Workers, WorkerStatus{
+			Name:       name,
+			LastSeenMS: float64(now.Sub(w.lastSeen)) / float64(time.Millisecond),
+			Leased:     w.leased,
+		})
+	}
+	return st
+}
+
+func (c *Coordinator) jobStatusLocked(j *clusterJob, withTasks bool) JobStatus {
+	st := JobStatus{
+		ID: j.id, State: j.state,
+		Parts:         len(j.tasks),
+		Done:          j.doneN,
+		Ordered:       j.ordered,
+		Automorphisms: j.plan.Pattern.Automorphisms(),
+		Reassigned:    j.reassign,
+		Fenced:        j.fenced,
+		Spilled:       j.spilled,
+		Failures:      j.failures,
+		Error:         j.errMsg,
+	}
+	st.Unique = st.Ordered / uint64(st.Automorphisms)
+	for _, t := range j.tasks {
+		switch t.state {
+		case taskPending:
+			st.Pending++
+		case taskLeased:
+			st.Leased++
+		}
+	}
+	elapsed := j.elapsed
+	if j.state == "running" {
+		elapsed = c.cfg.now().Sub(j.created)
+	}
+	st.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	if withTasks {
+		for i, t := range j.tasks {
+			st.Tasks = append(st.Tasks, TaskStatus{
+				ID: i, State: t.state, Cands: t.cands,
+				Epoch: t.epoch, Worker: t.worker,
+				Ordered: t.ordered, Spilled: t.spilled,
+			})
+		}
+	}
+	return st
+}
+
+// sweepLocked reclaims expired leases: the task returns to the queue (the
+// epoch is bumped at the next grant, fencing the old holder). Sweeping is
+// lazy — it runs at the top of every lease/heartbeat/report/status call —
+// because reassignment only matters when a live worker is asking.
+func (c *Coordinator) sweepLocked() {
+	now := c.cfg.now()
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.state != "running" {
+			continue
+		}
+		for i, t := range j.tasks {
+			if t.state == taskLeased && now.After(t.expires) {
+				t.state = taskPending
+				if w := c.workers[t.worker]; w != nil && w.leased > 0 {
+					w.leased--
+				}
+				// Reclaimed tasks jump the queue: they are the job's oldest
+				// outstanding work, so the straggler tail shrinks first.
+				j.queue = append([]int{i}, j.queue...)
+				j.reassign++
+				c.reassigned.Add(1)
+			}
+		}
+	}
+}
+
+func (c *Coordinator) touchWorkerLocked(name string) *workerInfo {
+	w := c.workers[name]
+	if w == nil {
+		w = &workerInfo{}
+		c.workers[name] = w
+	}
+	w.lastSeen = c.cfg.now()
+	return w
+}
+
+// grantLocked pops the next pending task across jobs (creation order) and
+// leases it to worker. It returns nil when no work is available.
+func (c *Coordinator) grantLocked(worker string) *Lease {
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.state != "running" || len(j.queue) == 0 {
+			continue
+		}
+		idx := j.queue[0]
+		j.queue = j.queue[1:]
+		t := j.tasks[idx]
+		t.epoch++
+		t.state = taskLeased
+		t.worker = worker
+		t.expires = c.cfg.now().Add(c.cfg.LeaseTTL)
+
+		snap := &checkpoint.Snapshot{
+			Seq:      t.epoch,
+			PlanFP:   j.planFP,
+			GraphFP:  c.graphFP,
+			Frontier: t.frontier,
+		}
+		var buf bytes.Buffer
+		if err := snap.Encode(&buf); err != nil {
+			// Encoding to memory cannot fail for a well-formed snapshot;
+			// refuse the grant rather than leasing garbage.
+			t.state = taskPending
+			j.queue = append(j.queue, idx)
+			return nil
+		}
+		c.touchWorkerLocked(worker).leased++
+		c.leases.Add(1)
+		return &Lease{
+			Job: j.id, Task: idx, Epoch: t.epoch,
+			Pattern:        j.spec.Pattern,
+			Variant:        j.spec.Variant,
+			DataAwareOrder: j.spec.DataAwareOrder,
+			Snapshot:       buf.Bytes(),
+			HeartbeatMS:    c.cfg.HeartbeatEvery.Milliseconds(),
+			TTLMS:          c.cfg.LeaseTTL.Milliseconds(),
+		}
+	}
+	return nil
+}
+
+// lookupLocked resolves a (job, task, epoch, worker) tuple to its lease when
+// the tuple still names the current assignment; the error explains the fence.
+func (c *Coordinator) lookupLocked(job string, task int, epoch uint64, worker string) (*clusterJob, *taskLease, error) {
+	j, ok := c.jobs[job]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown job %q", job)
+	}
+	if task < 0 || task >= len(j.tasks) {
+		return nil, nil, fmt.Errorf("job %q has no task %d", job, task)
+	}
+	t := j.tasks[task]
+	switch {
+	case t.state == taskDone:
+		return j, nil, fmt.Errorf("task %d already completed (epoch %d)", task, t.epoch)
+	case t.epoch != epoch:
+		return j, nil, fmt.Errorf("stale epoch %d for task %d (current %d): lease was reassigned", epoch, task, t.epoch)
+	case t.worker != worker:
+		return j, nil, fmt.Errorf("task %d epoch %d belongs to %q, not %q", task, epoch, t.worker, worker)
+	}
+	return j, t, nil
+}
+
+// Heartbeat renews (or, within the same epoch, resurrects) a lease; the
+// returned error means the lease is gone and the worker must abandon the
+// task.
+func (c *Coordinator) Heartbeat(hb HeartbeatRequest) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	c.touchWorkerLocked(hb.Worker)
+	j, t, err := c.lookupLocked(hb.Job, hb.Task, hb.Epoch, hb.Worker)
+	if err != nil {
+		return err
+	}
+	if t.state == taskPending {
+		// The lease expired but nobody re-claimed the task yet: the worker
+		// was slow, not dead. Resurrect in place (same epoch) and pull the
+		// task back off the queue.
+		for qi, idx := range j.queue {
+			if j.tasks[idx] == t {
+				j.queue = append(j.queue[:qi], j.queue[qi+1:]...)
+				break
+			}
+		}
+		t.state = taskLeased
+		c.touchWorkerLocked(hb.Worker).leased++
+	}
+	t.expires = c.cfg.now().Add(c.cfg.LeaseTTL)
+	return nil
+}
+
+// ReportTask merges one task report. The fencing rules: the report must name
+// the task's current epoch and holder — a reassigned (or completed) task
+// refuses the report, so every task's counters are merged exactly once. A
+// report may arrive for a lease that expired but was not yet re-granted;
+// the epoch still matches, so the work is salvaged rather than redone.
+func (c *Coordinator) ReportTask(rep Report) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	c.touchWorkerLocked(rep.Worker)
+	j, t, err := c.lookupLocked(rep.Job, rep.Task, rep.Epoch, rep.Worker)
+	if err != nil {
+		if j != nil {
+			j.fenced++
+		}
+		c.fenced.Add(1)
+		return err
+	}
+	wasLeased := t.state == taskLeased
+	if t.state == taskPending {
+		// Expired but unclaimed: accept, and drop the queue entry.
+		for qi, idx := range j.queue {
+			if j.tasks[idx] == t {
+				j.queue = append(j.queue[:qi], j.queue[qi+1:]...)
+				break
+			}
+		}
+	}
+	if wasLeased {
+		if w := c.workers[t.worker]; w != nil && w.leased > 0 {
+			w.leased--
+		}
+	}
+
+	if rep.Error != "" {
+		t.state = taskPending
+		t.worker = ""
+		t.failures++
+		j.failures++
+		j.queue = append(j.queue, rep.Task)
+		if t.failures >= c.cfg.MaxTaskFailures {
+			j.state = "failed"
+			j.errMsg = fmt.Sprintf("task %d failed %d times, last: %s", rep.Task, t.failures, rep.Error)
+			j.elapsed = c.cfg.now().Sub(j.created)
+		}
+		return nil
+	}
+
+	t.state = taskDone
+	t.ordered = rep.Ordered
+	j.doneN++
+	j.ordered += rep.Ordered
+	j.stats.Add(engine.UnpackStats(rep.Stats))
+
+	if len(rep.Remainder) > 0 {
+		snap, derr := checkpoint.Decode(bytes.NewReader(rep.Remainder))
+		if derr == nil {
+			derr = engine.ValidateSnapshot(c.store, j.plan, snap)
+		}
+		if derr != nil {
+			// A bad remainder means part of the search space would silently
+			// vanish; fail loudly instead of undercounting.
+			j.state = "failed"
+			j.errMsg = fmt.Sprintf("task %d spilled an unusable remainder: %v", rep.Task, derr)
+			j.elapsed = c.cfg.now().Sub(j.created)
+			return nil
+		}
+		cands := 0
+		for i := range snap.Frontier {
+			cands += len(snap.Frontier[i].Cands)
+		}
+		j.tasks = append(j.tasks, &taskLease{
+			frontier: snap.Frontier,
+			cands:    cands,
+			state:    taskPending,
+			spilled:  true,
+		})
+		j.queue = append(j.queue, len(j.tasks)-1)
+		j.spilled++
+		c.spills.Add(1)
+	}
+
+	c.reports.Add(1)
+	if j.doneN == len(j.tasks) && len(j.queue) == 0 && j.state == "running" {
+		j.state = "done"
+		j.elapsed = c.cfg.now().Sub(j.created)
+		c.jobsDone.Add(1)
+	}
+	return nil
+}
+
+// --- HTTP handlers -------------------------------------------------------
+
+// maxBody bounds protocol bodies; remainder frontiers can carry large
+// candidate ranges, so the cap is generous.
+const maxBody = 64 << 20
+
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The response writer owns delivery failures (client gone); nothing
+	// useful to do with an encode error here.
+	_ = enc.Encode(v)
+}
+
+func reject(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// validJobID accepts exactly the names safe in URLs and file stems.
+func validJobID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for _, ch := range id {
+		switch {
+		case ch == '-' || ch == '_':
+		case '0' <= ch && ch <= '9':
+		case 'a' <= ch && ch <= 'z':
+		case 'A' <= ch && ch <= 'Z':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (c *Coordinator) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	var req jobCreateRequest
+	if err := decodeStrict(w, r, &req); err != nil {
+		reject(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Pattern == "" {
+		reject(w, http.StatusBadRequest, "missing \"pattern\"")
+		return
+	}
+	st, err := c.StartJob(req.ID, req.JobSpec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errJobExists) {
+			code = http.StatusConflict
+		}
+		reject(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (c *Coordinator) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := c.JobStatusByID(id)
+	if !ok {
+		reject(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := decodeStrict(w, r, &req); err != nil {
+		reject(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Worker == "" {
+		reject(w, http.StatusBadRequest, "missing \"worker\"")
+		return
+	}
+	if req.GraphFP != c.graphFP {
+		reject(w, http.StatusConflict, fmt.Sprintf(
+			"worker data hypergraph (fingerprint %#x) differs from the coordinator's (%#x): every node must load the identical dataset", req.GraphFP, c.graphFP))
+		return
+	}
+	c.mu.Lock()
+	c.sweepLocked()
+	c.touchWorkerLocked(req.Worker)
+	lease := c.grantLocked(req.Worker)
+	c.mu.Unlock()
+	if lease == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, lease)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := decodeStrict(w, r, &req); err != nil {
+		reject(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := c.Heartbeat(req); err != nil {
+		reject(w, http.StatusGone, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ttl_ms": c.cfg.LeaseTTL.Milliseconds()})
+}
+
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req Report
+	if err := decodeStrict(w, r, &req); err != nil {
+		reject(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := c.ReportTask(req); err != nil {
+		reject(w, http.StatusGone, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"merged": true})
+}

@@ -1,0 +1,347 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ohminer/internal/checkpoint"
+	"ohminer/internal/dal"
+	"ohminer/internal/engine"
+	"ohminer/internal/pattern"
+)
+
+// WorkerConfig configures one cluster worker process (or in-process worker
+// in tests).
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8080".
+	Coordinator string
+	// Name identifies this worker in leases and the cluster status page.
+	Name string
+	// Store is the worker's local copy of the data hypergraph; its
+	// fingerprint must match the coordinator's.
+	Store *dal.Store
+	// Client performs the protocol round trips (nil = http.DefaultClient).
+	// Tests inject a faultinject.PartitionTransport here.
+	Client *http.Client
+	// Poll is how long to wait between lease requests when the coordinator
+	// has no work (0 = 500ms).
+	Poll time.Duration
+	// Engine carries local execution knobs — Workers, Kernel, SplitDepth,
+	// Instrument. Plan-shaping options (Gen/Val/DataAwareOrder) are
+	// overridden per lease from the coordinator's job spec so every node
+	// compiles the identical plan.
+	Engine engine.Options
+	// OnEmbedding, when set, observes every embedding mined locally (test
+	// hook; also where faultinject wraps its triggers).
+	OnEmbedding func([]uint32)
+	// Logf, when set, receives one line per protocol event (cmd/ohmworker
+	// points it at stderr; the smoke test watches for "lease ").
+	Logf func(format string, args ...any)
+}
+
+// Worker runs the lease/mine/heartbeat/report loop against a coordinator.
+type Worker struct {
+	cfg     WorkerConfig
+	graphFP uint64
+
+	leases    atomic.Uint64 // tasks leased
+	completed atomic.Uint64 // tasks reported complete
+	partial   atomic.Uint64 // tasks reported with a remainder spill
+	lost      atomic.Uint64 // leases abandoned after a heartbeat fence
+	fenced    atomic.Uint64 // reports the coordinator refused as stale
+}
+
+// NewWorker validates the config and fingerprints the local store.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, errors.New("cluster: worker needs a coordinator URL")
+	}
+	if cfg.Name == "" {
+		return nil, errors.New("cluster: worker needs a name")
+	}
+	if cfg.Store == nil {
+		return nil, errors.New("cluster: worker needs a store")
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Worker{cfg: cfg, graphFP: cfg.Store.Hypergraph().Fingerprint()}, nil
+}
+
+// Leases reports how many tasks this worker has leased.
+func (w *Worker) Leases() uint64 { return w.leases.Load() }
+
+// Completed reports how many tasks this worker finished and reported.
+func (w *Worker) Completed() uint64 { return w.completed.Load() }
+
+// Partial reports how many tasks were reported with an unfinished remainder.
+func (w *Worker) Partial() uint64 { return w.partial.Load() }
+
+// Lost reports how many leases were abandoned after a heartbeat fence.
+func (w *Worker) Lost() uint64 { return w.lost.Load() }
+
+// Fenced reports how many of this worker's reports the coordinator refused.
+func (w *Worker) Fenced() uint64 { return w.fenced.Load() }
+
+// Run leases and mines tasks until ctx is cancelled (graceful shutdown: the
+// in-flight task reports its partial count and unfinished frontier before
+// Run returns) or a non-retryable protocol error occurs. The context error
+// is returned on cancellation so callers can distinguish a clean drain.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, err := w.requestLease(ctx)
+		if err != nil {
+			var pe *protocolError
+			if errors.As(err, &pe) && pe.code == http.StatusConflict {
+				// Dataset mismatch never heals by retrying.
+				return err
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Transient (coordinator restarting, network blip): back off.
+			w.cfg.Logf("lease error: %v", err)
+			sleepCtx(ctx, w.cfg.Poll)
+			continue
+		}
+		if lease == nil {
+			sleepCtx(ctx, w.cfg.Poll)
+			continue
+		}
+		w.leases.Add(1)
+		w.cfg.Logf("lease job=%s task=%d epoch=%d", lease.Job, lease.Task, lease.Epoch)
+		w.runLease(ctx, lease)
+	}
+}
+
+// runLease mines one leased task range and reports the outcome.
+func (w *Worker) runLease(ctx context.Context, lease *Lease) {
+	report := Report{
+		Worker: w.cfg.Name,
+		Job:    lease.Job,
+		Task:   lease.Task,
+		Epoch:  lease.Epoch,
+	}
+	res, remainder, err := w.mine(ctx, lease)
+	switch {
+	case err != nil && errors.Is(err, errLeaseLost):
+		// The coordinator already fenced us out; a report would only be
+		// refused. Drop the partial result — the task was reassigned and
+		// will be counted exactly once by its new holder.
+		w.lost.Add(1)
+		w.cfg.Logf("lost job=%s task=%d epoch=%d", lease.Job, lease.Task, lease.Epoch)
+		return
+	case err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded):
+		report.Error = err.Error()
+	default:
+		report.Ordered = res.Ordered
+		report.Stats = engine.PackStats(res.Stats)
+		report.Remainder = remainder
+	}
+	if err := w.sendReport(report); err != nil {
+		var pe *protocolError
+		if errors.As(err, &pe) && pe.code == http.StatusGone {
+			w.fenced.Add(1)
+			w.cfg.Logf("fenced job=%s task=%d epoch=%d: %s", lease.Job, lease.Task, lease.Epoch, pe.msg)
+			return
+		}
+		// The report never arrived (crash-equivalent): the lease will
+		// expire and the task be reassigned; nothing was merged.
+		w.cfg.Logf("report error job=%s task=%d: %v", lease.Job, lease.Task, err)
+		return
+	}
+	if len(report.Remainder) > 0 {
+		w.partial.Add(1)
+		w.cfg.Logf("partial job=%s task=%d ordered=%d", lease.Job, lease.Task, report.Ordered)
+	} else if report.Error == "" {
+		w.completed.Add(1)
+		w.cfg.Logf("done job=%s task=%d ordered=%d", lease.Job, lease.Task, report.Ordered)
+	} else {
+		w.cfg.Logf("failed job=%s task=%d: %s", lease.Job, lease.Task, report.Error)
+	}
+}
+
+// errLeaseLost marks a mining run aborted because the coordinator fenced the
+// lease (heartbeat got a 410).
+var errLeaseLost = errors.New("cluster: lease lost")
+
+// mine runs the leased task range through the local engine, heartbeating in
+// the background. It returns the engine result, the encoded unfinished
+// remainder (nil when the range completed), and the first error.
+func (w *Worker) mine(ctx context.Context, lease *Lease) (engine.Result, []byte, error) {
+	p, err := pattern.Parse(lease.Pattern)
+	if err != nil {
+		return engine.Result{}, nil, fmt.Errorf("lease pattern: %w", err)
+	}
+	opts := w.cfg.Engine
+	if lease.Variant != "" {
+		v, err := engine.VariantByName(lease.Variant)
+		if err != nil {
+			return engine.Result{}, nil, err
+		}
+		opts.Gen, opts.Val = v.Gen, v.Val
+	} else {
+		opts.Gen, opts.Val = 0, 0
+	}
+	opts.DataAwareOrder = lease.DataAwareOrder
+	opts.OnEmbedding = w.cfg.OnEmbedding
+	mem := &checkpoint.MemSink{}
+	opts.Checkpoint = mem
+	opts.CheckpointEvery = 0 // snapshot only on a final stop
+	plan, err := engine.CompilePlan(w.cfg.Store, p, opts)
+	if err != nil {
+		return engine.Result{}, nil, err
+	}
+	snap, err := checkpoint.Decode(bytes.NewReader(lease.Snapshot))
+	if err != nil {
+		return engine.Result{}, nil, fmt.Errorf("lease snapshot: %w", err)
+	}
+
+	taskCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeatLoop(taskCtx, lease, cancel)
+	}()
+
+	res, err := engine.ResumeWithPlanContext(taskCtx, w.cfg.Store, plan, snap, opts)
+	cancel(nil)
+	<-hbDone
+	if cause := context.Cause(taskCtx); errors.Is(cause, errLeaseLost) {
+		return res, nil, errLeaseLost
+	}
+	var remainder []byte
+	if res.Truncated {
+		remainder = mem.Bytes()
+	}
+	return res, remainder, err
+}
+
+// heartbeatLoop renews the lease until ctx ends; a 410 means the lease was
+// reassigned, so it cancels the mining run with errLeaseLost. Transport
+// errors are ignored — a partitioned worker keeps mining (it cannot know
+// whether the coordinator is down or the path is); the epoch fence makes
+// that safe.
+func (w *Worker) heartbeatLoop(ctx context.Context, lease *Lease, cancel context.CancelCauseFunc) {
+	period := time.Duration(lease.HeartbeatMS) * time.Millisecond
+	if period <= 0 {
+		period = time.Second
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		err := w.post(ctx, "/cluster/heartbeat", HeartbeatRequest{
+			Worker: w.cfg.Name, Job: lease.Job, Task: lease.Task, Epoch: lease.Epoch,
+		}, nil)
+		var pe *protocolError
+		if errors.As(err, &pe) && pe.code == http.StatusGone {
+			cancel(errLeaseLost)
+			return
+		}
+	}
+}
+
+// requestLease asks for work; nil lease (no error) means none is available.
+func (w *Worker) requestLease(ctx context.Context) (*Lease, error) {
+	var lease Lease
+	ok, err := w.postStatus(ctx, "/cluster/lease", LeaseRequest{Worker: w.cfg.Name, GraphFP: w.graphFP}, &lease)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return &lease, nil
+}
+
+// sendReport posts the task outcome on its own short deadline, detached from
+// the run context, so a graceful shutdown still delivers the final partial
+// report after Run's context is already cancelled.
+func (w *Worker) sendReport(rep Report) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return w.post(ctx, "/cluster/report", rep, nil)
+}
+
+// protocolError is a non-2xx coordinator response.
+type protocolError struct {
+	code int
+	msg  string
+}
+
+func (e *protocolError) Error() string {
+	return fmt.Sprintf("coordinator: %d: %s", e.code, e.msg)
+}
+
+func (w *Worker) post(ctx context.Context, path string, body, out any) error {
+	_, err := w.postStatus(ctx, path, body, out)
+	return err
+}
+
+// postStatus posts body as JSON and decodes a 2xx response into out (when
+// non-nil). It returns (false, nil) on 204 No Content.
+func (w *Worker) postStatus(ctx context.Context, path string, body, out any) (bool, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(payload))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return false, nil
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var er errorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(data, &er) != nil || er.Error == "" {
+			er.Error = string(data)
+		}
+		return false, &protocolError{code: resp.StatusCode, msg: er.Error}
+	}
+	if out != nil {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(out); err != nil {
+			return false, fmt.Errorf("decoding %s response: %w", path, err)
+		}
+	}
+	return true, nil
+}
+
+// sleepCtx sleeps for d or until ctx ends, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

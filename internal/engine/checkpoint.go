@@ -141,19 +141,7 @@ func ValidateSnapshot(store *dal.Store, plan *oig.Plan, snap *checkpoint.Snapsho
 // so a resumed run that finishes reports the same totals as an
 // uninterrupted one.
 func ResumeFromCheckpoint(ctx context.Context, store *dal.Store, p *pattern.Pattern, snap *checkpoint.Snapshot, opts Options) (Result, error) {
-	mode := oig.ModeMerged
-	if opts.Val == ValOverlapSimple {
-		mode = oig.ModeSimple
-	}
-	var (
-		plan *oig.Plan
-		err  error
-	)
-	if opts.DataAwareOrder {
-		plan, err = oig.CompileOrdered(p, mode, dataAwareOrder(store, p))
-	} else {
-		plan, err = oig.Compile(p, mode)
-	}
+	plan, err := CompilePlan(store, p, opts)
 	if err != nil {
 		return Result{}, err
 	}

@@ -218,7 +218,10 @@ type Stats struct {
 	CheckpointErrors uint64
 }
 
-func (s *Stats) add(o Stats) {
+// Add accumulates o into s. Exported for the consumers that merge partial
+// Stats outside the engine — the cluster coordinator folds per-task worker
+// reports into a job total with it.
+func (s *Stats) Add(o Stats) {
 	s.Candidates += o.Candidates
 	s.Embeddings += o.Embeddings
 	s.SetOps += o.SetOps
@@ -267,19 +270,7 @@ func Mine(store *dal.Store, p *pattern.Pattern, opts Options) (Result, error) {
 // cancelled mid-run the workers unwind cooperatively and the call returns
 // the partial Result accumulated so far together with ctx.Err().
 func MineContext(ctx context.Context, store *dal.Store, p *pattern.Pattern, opts Options) (Result, error) {
-	mode := oig.ModeMerged
-	if opts.Val == ValOverlapSimple {
-		mode = oig.ModeSimple
-	}
-	var (
-		plan *oig.Plan
-		err  error
-	)
-	if opts.DataAwareOrder {
-		plan, err = oig.CompileOrdered(p, mode, dataAwareOrder(store, p))
-	} else {
-		plan, err = oig.Compile(p, mode)
-	}
+	plan, err := CompilePlan(store, p, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -502,7 +493,7 @@ func mineResumable(ctx context.Context, store *dal.Store, plan *oig.Plan, opts O
 			st := baseStats
 			for _, w := range ws {
 				ordered += w.count
-				st.add(w.stats)
+				st.Add(w.stats)
 			}
 			st.Checkpoints += ckptWritten
 			st.CheckpointBytes += ckptBytes
@@ -527,7 +518,7 @@ func mineResumable(ctx context.Context, store *dal.Store, plan *oig.Plan, opts O
 	res := baseResult()
 	for _, w := range ws {
 		res.Ordered += w.count
-		res.Stats.add(w.stats)
+		res.Stats.Add(w.stats)
 	}
 	res.Stats.Checkpoints += ckptWritten
 	res.Stats.CheckpointBytes += ckptBytes

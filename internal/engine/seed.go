@@ -1,0 +1,88 @@
+package engine
+
+// Task-range seeding: the pieces of the mining driver that the distributed
+// layer (internal/cluster) needs as standalone steps. A single-node run
+// compiles a plan, enumerates the candidates of the first pattern hyperedge,
+// and explores them; a cluster coordinator performs exactly the first two
+// steps, partitions the candidate pool into depth-0 frontier tasks, and
+// ships each range to a worker as an OHMC snapshot (the checkpoint wire
+// format). The frontier tasks partition the search space, so per-range
+// counts merged exactly once equal the single-node total — the same
+// invariant checkpoint/resume rests on, extracted from that machinery.
+
+import (
+	"ohminer/internal/checkpoint"
+	"ohminer/internal/dal"
+	"ohminer/internal/oig"
+	"ohminer/internal/pattern"
+)
+
+// CompilePlan compiles the execution plan Mine/MineContext would use for
+// (store, p, opts): the plan mode follows opts.Val and the matching order
+// follows opts.DataAwareOrder. Extracted so checkpoint resume and cluster
+// workers compile plans whose fingerprints provably match the original
+// run's — a lease or snapshot produced against this plan validates against
+// an independently compiled one on any node holding the same store.
+func CompilePlan(store *dal.Store, p *pattern.Pattern, opts Options) (*oig.Plan, error) {
+	mode := oig.ModeMerged
+	if opts.Val == ValOverlapSimple {
+		mode = oig.ModeSimple
+	}
+	if opts.DataAwareOrder {
+		return oig.CompileOrdered(p, mode, dataAwareOrder(store, p))
+	}
+	return oig.Compile(p, mode)
+}
+
+// FirstCandidates enumerates the candidate pool of the first pattern
+// hyperedge — every data hyperedge passing the degree, label, and
+// PositionFilter constraints — exactly as the mining driver seeds it. The
+// returned slice is freshly allocated and safe to retain or repartition.
+func FirstCandidates(store *dal.Store, plan *oig.Plan, opts Options) []uint32 {
+	e := &shared{store: store, plan: plan, opts: opts}
+	cands := e.firstCandidates()
+	// firstCandidates may return the DAL's shared degree-index storage when
+	// no filtering applies; copy so callers own what they hold.
+	return append([]uint32(nil), cands...)
+}
+
+// PartitionFrontier splits a first-position candidate pool into at most
+// parts contiguous depth-0 frontier tasks of near-equal candidate count.
+// Each task is independently minable (ResumeWithPlanContext over a snapshot
+// holding just that task), and together they cover the pool exactly once.
+func PartitionFrontier(cands []uint32, parts int) []checkpoint.Task {
+	if len(cands) == 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > len(cands) {
+		parts = len(cands)
+	}
+	per := (len(cands) + parts - 1) / parts
+	out := make([]checkpoint.Task, 0, parts)
+	for i := 0; i < len(cands); i += per {
+		end := i + per
+		if end > len(cands) {
+			end = len(cands)
+		}
+		out = append(out, checkpoint.Task{
+			Cands: append([]uint32(nil), cands[i:end]...),
+		})
+	}
+	return out
+}
+
+// PlanFingerprint exposes the snapshot plan fingerprint (pattern structure,
+// labels, matching order, plan mode) so the cluster coordinator can stamp
+// the OHMC snapshots it leases out; workers then get the same
+// wrong-plan/wrong-dataset protection resume has.
+func PlanFingerprint(plan *oig.Plan) uint64 { return planFingerprint(plan) }
+
+// PackStats flattens the Stats counters into the opaque slice snapshots and
+// cluster task reports carry; UnpackStats inverts it.
+func PackStats(s Stats) []uint64 { return packStats(s) }
+
+// UnpackStats is the inverse of PackStats.
+func UnpackStats(vs []uint64) Stats { return unpackStats(vs) }

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"net/http"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -158,6 +159,67 @@ type tornBuffer struct{ data []byte }
 func (b *tornBuffer) Write(p []byte) (int, error) {
 	b.data = append(b.data, p...)
 	return len(p), nil
+}
+
+// HookAfter wraps an embedding callback so hook fires exactly once, on the
+// n-th invocation (before fn) — the deterministic trigger for cluster fault
+// scenarios: cutting a worker's network mid-task, cancelling its context to
+// model a SIGKILL, or healing a partition at a chosen point in the run.
+func HookAfter(n uint64, hook func(), fn func([]uint32)) func([]uint32) {
+	var calls atomic.Uint64
+	return func(c []uint32) {
+		if calls.Add(1) == n && hook != nil {
+			hook()
+		}
+		if fn != nil {
+			fn(c)
+		}
+	}
+}
+
+// ErrPartitioned is the failure PartitionTransport reports while cut.
+var ErrPartitioned = errors.New("faultinject: network partitioned")
+
+// PartitionTransport is an http.RoundTripper modeling a network partition
+// between a cluster worker and its coordinator: while cut, every request
+// fails with ErrPartitioned before reaching the wire; Heal restores the
+// path. The worker under test keeps mining through the partition (heartbeats
+// merely error), its lease expires and is reassigned, and after Heal its
+// late zombie report arrives — the exactly-once fencing scenario.
+type PartitionTransport struct {
+	// Inner performs real round trips while the path is up; nil means
+	// http.DefaultTransport.
+	Inner http.RoundTripper
+
+	cut      atomic.Bool
+	requests atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+// Cut severs the path: subsequent requests fail until Heal.
+func (pt *PartitionTransport) Cut() { pt.cut.Store(true) }
+
+// Heal restores the path.
+func (pt *PartitionTransport) Heal() { pt.cut.Store(false) }
+
+// Dropped reports how many requests the partition swallowed.
+func (pt *PartitionTransport) Dropped() uint64 { return pt.dropped.Load() }
+
+// Requests reports the total round trips attempted (dropped included).
+func (pt *PartitionTransport) Requests() uint64 { return pt.requests.Load() }
+
+// RoundTrip implements http.RoundTripper.
+func (pt *PartitionTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	pt.requests.Add(1)
+	if pt.cut.Load() {
+		pt.dropped.Add(1)
+		return nil, ErrPartitioned
+	}
+	inner := pt.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return inner.RoundTrip(req)
 }
 
 // NoSpaceSink fails every write with ErrNoSpace — the full-disk scenario.

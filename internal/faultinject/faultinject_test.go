@@ -1,6 +1,9 @@
 package faultinject
 
 import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 )
@@ -48,5 +51,60 @@ func TestSlowEmbeddingDelays(t *testing.T) {
 	fn(nil)
 	if d := time.Since(start); d < time.Millisecond {
 		t.Errorf("delayed only %v", d)
+	}
+}
+
+func TestHookAfterFiresExactlyOnce(t *testing.T) {
+	hooks, calls := 0, 0
+	fn := HookAfter(3, func() { hooks++ }, func([]uint32) { calls++ })
+	for i := 0; i < 6; i++ {
+		fn(nil)
+	}
+	if hooks != 1 {
+		t.Errorf("hook fired %d times, want exactly 1", hooks)
+	}
+	if calls != 6 {
+		t.Errorf("wrapped callback ran %d times, want 6 (every call passes through)", calls)
+	}
+	// Nil hook and nil callback are both legal.
+	HookAfter(1, nil, nil)(nil)
+}
+
+func TestPartitionTransportCutAndHeal(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+	}))
+	defer srv.Close()
+
+	pt := &PartitionTransport{}
+	client := &http.Client{Transport: pt}
+
+	get := func() error {
+		resp, err := client.Get(srv.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		return err
+	}
+	if err := get(); err != nil {
+		t.Fatalf("request before cut: %v", err)
+	}
+	pt.Cut()
+	if err := get(); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("request during partition: err=%v, want ErrPartitioned", err)
+	}
+	if err := get(); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("second request during partition: err=%v, want ErrPartitioned", err)
+	}
+	pt.Heal()
+	if err := get(); err != nil {
+		t.Fatalf("request after heal: %v", err)
+	}
+	if hits != 2 {
+		t.Errorf("server saw %d requests, want 2: the partition leaked traffic", hits)
+	}
+	if pt.Requests() != 4 || pt.Dropped() != 2 {
+		t.Errorf("requests=%d dropped=%d, want 4/2", pt.Requests(), pt.Dropped())
 	}
 }

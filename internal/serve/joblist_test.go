@@ -1,0 +1,126 @@
+package serve
+
+// Tests of the GET /jobs listing and of the cluster-coordinator mount.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ohminer/internal/cluster"
+)
+
+func listJobs(t *testing.T, url string) (int, []JobStatus) {
+	t.Helper()
+	resp, err := http.Get(url + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode job list: %v", err)
+		}
+	}
+	return resp.StatusCode, out.Jobs
+}
+
+// TestJobListDisabled: GET /jobs is part of the jobs subsystem and refuses
+// with 503 when no checkpoint directory was configured.
+func TestJobListDisabled(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code, _ := listJobs(t, ts.URL); code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /jobs without checkpoint dir: status %d, want 503", code)
+	}
+}
+
+// TestJobList: the listing merges live jobs with jobs an earlier process
+// left on disk, sorted by id, each with its reconstructed state.
+func TestJobList(t *testing.T) {
+	dir := t.TempDir()
+	s := jobsServer(t, Config{CheckpointDir: dir})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, jobs := listJobs(t, ts.URL); code != http.StatusOK || len(jobs) != 0 {
+		t.Fatalf("empty listing: status %d, %d jobs; want 200 and none", code, len(jobs))
+	}
+
+	// One live job, run to completion.
+	resp, body := postJSON(t, ts.URL+"/jobs", `{"id": "live", "pattern": "0 1; 0 2"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create: status %d (%s)", resp.StatusCode, body)
+	}
+	waitState(t, ts.URL, "live", "done")
+
+	// One job only on disk, as a crashed previous process would leave it:
+	// a spec file with no result.
+	specPath := filepath.Join(dir, "orphan.job")
+	if err := os.WriteFile(specPath, []byte(`{"pattern": "0 1; 0 2"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Stray files must not show up as jobs.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, jobs := listJobs(t, ts.URL)
+	if code != http.StatusOK || len(jobs) != 2 {
+		t.Fatalf("listing: status %d, %d jobs (%+v); want 200 and 2", code, len(jobs), jobs)
+	}
+	if jobs[0].ID != "live" || jobs[1].ID != "orphan" {
+		t.Fatalf("listing order %q, %q; want live, orphan (sorted)", jobs[0].ID, jobs[1].ID)
+	}
+	if jobs[0].State != "done" || jobs[0].Ordered != starWant {
+		t.Errorf("live job listed as %+v, want done with ordered=%d", jobs[0], starWant)
+	}
+	if jobs[1].State != "interrupted" {
+		t.Errorf("orphan job listed as %q, want interrupted", jobs[1].State)
+	}
+}
+
+// TestClusterMount: with Config.Cluster set, the coordinator's endpoints
+// are served from the same mux as the query service; without it, /cluster
+// does not exist.
+func TestClusterMount(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	resp, err := http.Get(ts.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("GET /cluster answered 200 on a server without a coordinator")
+	}
+
+	base := testServer(t, Config{})
+	coord := cluster.New(base.Session().Store(), cluster.Config{Parts: 4})
+	s2 := New(base.Session(), Config{Cluster: coord})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /cluster: status %d, want 200", resp.StatusCode)
+	}
+	var st cluster.ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode cluster status: %v", err)
+	}
+	if st.GraphFP != base.Session().Store().Hypergraph().Fingerprint() {
+		t.Error("mounted coordinator reports the wrong graph fingerprint")
+	}
+}

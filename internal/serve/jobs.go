@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -217,6 +218,60 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	s.jobWG.Add(1)
 	go s.runJob(j, nil)
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleJobList answers GET /jobs: one summary row per job this server
+// knows about — live jobs in this process, plus jobs a previous process left
+// behind in CheckpointDir (their state reconstructed from the .job/.done
+// files exactly as GET /jobs/{id} would). Sorted by id for stable output.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	statuses := map[string]JobStatus{}
+	s.jobsMu.Lock()
+	live := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		live = append(live, j)
+	}
+	s.jobsMu.Unlock()
+	for _, j := range live {
+		statuses[j.id] = j.status()
+	}
+	entries, err := os.ReadDir(s.cfg.CheckpointDir)
+	if err != nil {
+		s.reject(w, http.StatusInternalServerError, "scan checkpoint dir: "+err.Error())
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		ext := filepath.Ext(name)
+		if ext != ".job" && ext != ".done" {
+			continue
+		}
+		id := name[:len(name)-len(ext)]
+		if !validJobID(id) {
+			continue
+		}
+		if _, ok := statuses[id]; ok {
+			continue
+		}
+		st, err := s.diskJobStatus(id)
+		if err != nil {
+			continue
+		}
+		statuses[id] = st
+	}
+	ids := make([]string, 0, len(statuses))
+	for id := range statuses {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, statuses[id])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {

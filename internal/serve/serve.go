@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"ohminer"
+	"ohminer/internal/cluster"
 )
 
 // Config bounds the per-query and per-server resources.
@@ -57,6 +58,10 @@ type Config struct {
 	CheckpointDir string
 	// CheckpointEvery is the snapshot period for jobs (0 = 5s).
 	CheckpointEvery time.Duration
+	// Cluster, when set, mounts the distributed-mining coordinator's
+	// endpoints (/cluster, /cluster/jobs, and the worker lease protocol) on
+	// this server — ohmserve's -cluster mode. Nil serves single-node only.
+	Cluster *cluster.Coordinator
 
 	// debugOnEmbedding throttles job mining per embedding. Test hook (the
 	// interrupt/resume tests need runs that outlast a checkpoint period);
@@ -159,15 +164,21 @@ func (s *Server) Abort() { s.abortStop() }
 func (s *Server) Session() *ohminer.Session { return s.sess }
 
 // Handler returns the service mux: POST /query, the jobs endpoints
-// (POST /jobs, GET /jobs/{id}, POST /jobs/{id}/resume — 503 unless
-// Config.CheckpointDir is set), GET /healthz, GET /debug/vars (expvar),
-// and the net/http/pprof endpoints under /debug/pprof/.
+// (GET /jobs, POST /jobs, GET /jobs/{id}, POST /jobs/{id}/resume — 503
+// unless Config.CheckpointDir is set), the cluster coordinator endpoints
+// when Config.Cluster is set (GET /cluster, POST /cluster/jobs, and the
+// worker lease protocol), GET /healthz, GET /debug/vars (expvar), and the
+// net/http/pprof endpoints under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("GET /jobs", s.handleJobList)
 	mux.HandleFunc("POST /jobs", s.handleJobCreate)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("POST /jobs/{id}/resume", s.handleJobResume)
+	if s.cfg.Cluster != nil {
+		s.cfg.Cluster.Register(mux)
+	}
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/debug/vars", s.handleVars)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
