@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples serve-smoke cluster-smoke chaos fmt fmt-check vet lint ci clean
+.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples serve-smoke cluster-smoke chaos fmt fmt-check vet lint lint-fix-check ci clean
 
 all: build test lint
 
@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/hypergraph
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/pattern
 	$(GO) test -fuzz FuzzLoad -fuzztime 30s ./internal/dal
+	$(GO) test -fuzz FuzzPlanVerify -fuzztime 30s ./internal/engine
 
 # Regenerate the paper's tables and figures (minutes; see EXPERIMENTS.md).
 experiments:
@@ -82,9 +83,15 @@ vet:
 lint:
 	$(GO) run ./cmd/ohmlint ./...
 
-# The full local gate: formatting, vet, ohmlint, the race-enabled tests,
-# and the end-to-end smokes (query service + distributed cluster).
-ci: fmt-check vet lint race serve-smoke cluster-smoke chaos
+# Audit suppression directives: every //ohmlint:allow and //lint:ignore
+# must carry a written reason, or the gate fails.
+lint-fix-check:
+	$(GO) run ./cmd/ohmlint -suppressions ./...
+
+# The full local gate: formatting, vet, ohmlint + suppression audit, the
+# race-enabled tests, and the end-to-end smokes (query service +
+# distributed cluster).
+ci: fmt-check vet lint lint-fix-check race serve-smoke cluster-smoke chaos
 
 clean:
 	$(GO) clean ./...

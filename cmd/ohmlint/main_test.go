@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway single-package module and returns its
+// root. The content is the body of pkg/pkg.go.
+func writeModule(t *testing.T, content string) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module scratchmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgDir := filepath.Join(root, "pkg")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "pkg.go"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+const cleanSrc = `package pkg
+
+func Add(a, b int) int { return a + b }
+`
+
+const detachedSrc = `package pkg
+
+import "context"
+
+func Detached(ctx context.Context) error {
+	_ = ctx
+	return context.Background().Err()
+}
+`
+
+func TestExitCodeClean(t *testing.T) {
+	t.Chdir(writeModule(t, cleanSrc))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run wrote to stdout: %q", stdout.String())
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	t.Chdir(writeModule(t, detachedSrc))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[ctxflow]") {
+		t.Errorf("findings output missing [ctxflow] tag:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing findings count: %q", stderr.String())
+	}
+}
+
+func TestExitCodeUsageErrors(t *testing.T) {
+	t.Chdir(writeModule(t, cleanSrc))
+	cases := [][]string{
+		{"-only", "no-such-analyzer", "./..."},
+		{"-skip", "no-such-analyzer", "./..."},
+		{"-only", "ctxflow", "-run", "ctxflow", "./..."},
+		{"-skip", "hotpath-alloc,scratch-escape,stamp-discipline,no-panic-lib,guardedby,atomicmix,ctxflow,goroutinestop", "./..."},
+		{"-not-a-flag"},
+		{"./no/such/dir/..."},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2; stderr:\n%s", args, code, stderr.String())
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	t.Chdir(writeModule(t, detachedSrc))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	var got []jsonDiagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &got); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, stdout.String())
+	}
+	if len(got) == 0 {
+		t.Fatal("JSON output has no diagnostics")
+	}
+	d := got[0]
+	if d.Analyzer != "ctxflow" || d.Line == 0 || !strings.HasSuffix(d.File, filepath.Join("pkg", "pkg.go")) {
+		t.Errorf("unexpected diagnostic: %+v", d)
+	}
+}
+
+func TestOnlyAndSkipFilter(t *testing.T) {
+	t.Chdir(writeModule(t, detachedSrc))
+
+	// Restricting to an unrelated analyzer hides the ctxflow finding.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "atomicmix", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-only atomicmix: exit = %d, want 0; stdout:\n%s", code, stdout.String())
+	}
+
+	// Skipping ctxflow does the same.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-skip", "ctxflow", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-skip ctxflow: exit = %d, want 0; stdout:\n%s", code, stdout.String())
+	}
+
+	// -run stays a working alias for -only.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-run", "ctxflow", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-run ctxflow: exit = %d, want 1", code)
+	}
+}
+
+func TestSuppressionsAudit(t *testing.T) {
+	bare := `package pkg
+
+import "context"
+
+func Detached(ctx context.Context) error {
+	_ = ctx
+	//lint:ignore ctxflow
+	return context.Background().Err()
+}
+`
+	t.Chdir(writeModule(t, bare))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-suppressions", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bare directive: exit = %d, want 1; stdout:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "has no reason") {
+		t.Errorf("audit output missing reason complaint:\n%s", stdout.String())
+	}
+
+	justified := strings.Replace(bare, "//lint:ignore ctxflow",
+		"//lint:ignore ctxflow call sites predate cancellation plumbing", 1)
+	t.Chdir(writeModule(t, justified))
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-suppressions", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("justified directive: exit = %d, want 0; stdout:\n%s", code, stdout.String())
+	}
+}

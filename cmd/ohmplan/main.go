@@ -6,6 +6,11 @@
 //
 //	ohmplan -pattern "0 1 2 3 4 5; 3 4 5 6 7 8; 3 4 5 6 7 9 10 11"
 //	ohmplan -pattern "0 1; 1 2; 0 2" -mode simple
+//	ohmplan -pattern "0 1; 1 2" -verify
+//
+// -verify skips the inspection dump and runs only the full IR program
+// verifier (slot def-before-use, liveness, mask/step discipline, fingerprint
+// coverage), printing the plan's semantic fingerprint on success.
 package main
 
 import (
@@ -28,8 +33,9 @@ func main() {
 
 func run() error {
 	var (
-		lit  = flag.String("pattern", "", "pattern literal, e.g. \"0 1 2; 2 3 4\"")
-		mode = flag.String("mode", "merged", "plan mode: merged (full OHMiner) or simple (IEP only)")
+		lit    = flag.String("pattern", "", "pattern literal, e.g. \"0 1 2; 2 3 4\"")
+		mode   = flag.String("mode", "merged", "plan mode: merged (full OHMiner) or simple (IEP only)")
+		verify = flag.Bool("verify", false, "run only the IR program verifier and print the plan fingerprint")
 	)
 	flag.Parse()
 	if *lit == "" {
@@ -56,6 +62,15 @@ func run() error {
 	plan, err := oig.Compile(p, m)
 	if err != nil {
 		return err
+	}
+
+	if *verify {
+		if err := oig.VerifyProgram(plan); err != nil {
+			return fmt.Errorf("plan verification FAILED: %w", err)
+		}
+		out.Printf("plan verification: OK (mode=%s, slots=%d, fingerprint %#x)\n",
+			plan.Mode, plan.NumSlots, plan.FP)
+		return out.Close()
 	}
 	out.Printf("matching order: %v (original indices)\n", plan.Order)
 
@@ -88,9 +103,9 @@ func run() error {
 	out.Print(plan)
 	out.Printf("compiled in %v; op counts: %v\n", plan.CompileTime, plan.NumOps())
 
-	if err := oig.Verify(plan); err != nil {
+	if err := oig.VerifyProgram(plan); err != nil {
 		return fmt.Errorf("plan verification FAILED: %w", err)
 	}
-	out.Println("plan verification: OK")
+	out.Printf("plan verification: OK (fingerprint %#x)\n", plan.FP)
 	return out.Close()
 }

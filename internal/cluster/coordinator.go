@@ -150,10 +150,10 @@ type Coordinator struct {
 	cfg     Config
 
 	mu      sync.Mutex
-	jobs    map[string]*clusterJob
-	order   []string // job ids in creation order (lease fairness, status)
-	workers map[string]*workerInfo
-	jobSeq  uint64
+	jobs    map[string]*clusterJob // guarded by mu
+	order   []string               // job ids in creation order (lease fairness, status); guarded by mu
+	workers map[string]*workerInfo // guarded by mu
+	jobSeq  uint64                 // guarded by mu
 
 	leases     expvar.Int // granted leases
 	reports    expvar.Int // reports merged

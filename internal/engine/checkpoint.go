@@ -13,11 +13,8 @@ package engine
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
-	"io"
 	"time"
 
 	"ohminer/internal/checkpoint"
@@ -27,35 +24,16 @@ import (
 )
 
 // planFingerprint hashes everything that fixes the meaning of a frontier
-// task: the pattern structure rendered in matching order, the vertex and
-// hyperedge labels (String does not include them), the matching-order
-// permutation, and the plan mode. A snapshot resumed against a plan with a
-// different fingerprint would interpret bound prefixes against the wrong
-// positions, so resume refuses it.
+// task. It delegates to the IR verifier's semantic fingerprint, which covers
+// the pattern structure rendered in matching order, the vertex and hyperedge
+// labels, the matching-order permutation, the plan mode, and every compiled
+// step and operation that affects counting. A snapshot resumed against a
+// plan with a different fingerprint would interpret bound prefixes against
+// the wrong positions (or validate them against the wrong checks), so
+// resume refuses it. Compilation is deterministic, so two nodes compiling
+// the same (pattern, mode, order) agree on the fingerprint.
 func planFingerprint(plan *oig.Plan) uint64 {
-	h := fnv.New64a()
-	_, _ = io.WriteString(h, plan.Pattern.String())
-	var buf [8]byte
-	w := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		_, _ = h.Write(buf[:])
-	}
-	w(uint64(plan.Mode))
-	w(uint64(len(plan.Order)))
-	for _, o := range plan.Order {
-		w(uint64(o))
-	}
-	if plan.Pattern.Labeled() {
-		for v := 0; v < plan.Pattern.NumVertices(); v++ {
-			w(uint64(plan.Pattern.Label(uint32(v))))
-		}
-	}
-	if plan.Pattern.EdgeLabeled() {
-		for e := 0; e < plan.Pattern.NumEdges(); e++ {
-			w(uint64(plan.Pattern.EdgeLabel(e)))
-		}
-	}
-	return h.Sum64()
+	return oig.Fingerprint(plan)
 }
 
 // packStats flattens the Stats counters into the opaque slice a snapshot
@@ -104,6 +82,13 @@ func unpackStats(vs []uint64) Stats {
 // hand-edited) is rejected with a descriptive error instead of causing
 // out-of-range panics during mining.
 func ValidateSnapshot(store *dal.Store, plan *oig.Plan, snap *checkpoint.Snapshot) error {
+	// Verify the plan itself before trusting the snapshot's fingerprint
+	// comparison: a plan corrupted after compilation (or a miscompiled one)
+	// must be rejected with the IR verifier's diagnostic rather than mine to
+	// a silent miscount.
+	if err := oig.VerifyProgram(plan); err != nil {
+		return fmt.Errorf("engine: refusing to resume onto an invalid plan: %w", err)
+	}
 	if got, want := snap.PlanFP, planFingerprint(plan); got != want {
 		return fmt.Errorf("engine: snapshot was written for a different plan (fingerprint %#x, want %#x): pattern, labels, matching order, and validation mode must all match", got, want)
 	}

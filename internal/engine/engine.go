@@ -669,9 +669,9 @@ type shared struct {
 	// tell "quiesce for a checkpoint" from "out of time".
 	deadlineHit atomic.Bool
 	// panicErr holds the first worker panic, converted to an error so a
-	// crashing user callback cannot take down the process; panicMu guards it.
+	// crashing user callback cannot take down the process.
 	panicMu  sync.Mutex
-	panicErr error
+	panicErr error // guarded by panicMu
 	// autoPerms holds the non-identity automorphism permutations when
 	// UniqueOnly filtering is active.
 	autoPerms [][]int

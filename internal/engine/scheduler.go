@@ -54,10 +54,11 @@ const (
 // near the root of the search tree — so a mutex per operation costs nothing
 // measurable, and every slot's buffers are reused across the run.
 type deque struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	// ring holds the queued tasks; guarded by mu.
 	ring [dequeCap]task
-	head uint64 // next slot a thief takes; tasks live in [head, tail)
-	tail uint64 // next free slot for the owner
+	head uint64 // next slot a thief takes; tasks live in [head, tail); guarded by mu
+	tail uint64 // next free slot for the owner; guarded by mu
 }
 
 // push copies (depth, prefix, cands) into the deque; it reports false when
@@ -134,9 +135,9 @@ type scheduler struct {
 	// overflow holds seeded tasks that did not fit the bounded deques — a
 	// resumed or post-quiesce frontier can be arbitrarily long. Workers
 	// fall back to it when their own deque is empty and nothing is
-	// stealable; ovMu guards it.
+	// stealable.
 	ovMu     sync.Mutex
-	overflow []task
+	overflow []task // guarded by ovMu
 	// pending counts unfinished tasks: seeded root tasks plus every
 	// publication, decremented when a task's whole subtree is done. A task
 	// is counted before it becomes visible in any deque, so pending == 0
@@ -179,12 +180,14 @@ func (s *scheduler) seed(first []uint32) {
 // its run buffer.
 func (s *scheduler) seedTasks(tasks []task) {
 	workers := len(s.deques)
+	s.ovMu.Lock()
 	for i := range tasks {
 		t := &tasks[i]
 		if !s.deques[i%workers].push(t.depth, t.prefix, t.cands) {
 			s.overflow = append(s.overflow, *t)
 		}
 	}
+	s.ovMu.Unlock()
 	s.pending.Store(int64(len(tasks)))
 }
 

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix flags mixed atomic and plain access to the same field: once any
+// code touches a field through sync/atomic's pointer functions, every other
+// access must be atomic too — a plain read can observe a torn or stale
+// value, and a plain write races the CAS/add path. Fields of the typed
+// atomic.* wrappers are immune by construction and never reported; the fix
+// for a finding is usually to migrate the field to one of them.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag non-atomic access to a field that is accessed via sync/atomic elsewhere",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Info == nil {
+		return // field identity needs types
+	}
+
+	// Pass 1: find every field reached through an atomic pointer function
+	// (atomic.AddUint64(&x.f, 1), atomic.LoadInt64(&x.f), ...). The selector
+	// nodes inside those calls are the sanctioned accesses.
+	atomicAt := map[types.Object]token.Position{} // field → first atomic site
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPtrCall(pkg, call) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[sel.Sel]
+			if fieldVar, isVar := obj.(*types.Var); !isVar || !fieldVar.IsField() {
+				return true
+			}
+			sanctioned[sel] = true
+			if _, seen := atomicAt[obj]; !seen {
+				atomicAt[obj] = pkg.Fset.Position(sel.Pos())
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: any other selector resolving to a marked field is a plain
+	// access racing the atomic path.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			obj := pkg.Info.Uses[sel.Sel]
+			first, marked := atomicAt[obj]
+			if !marked {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s is accessed via sync/atomic at %s:%d but non-atomically here; every access must be atomic (or migrate to a typed atomic)",
+				sel.Sel.Name, shortPath(first.Filename), first.Line)
+			return true
+		})
+	}
+}
+
+// isAtomicPtrCall matches the sync/atomic package-level functions that take
+// a pointer to a plain integer/pointer field.
+func isAtomicPtrCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	switch {
+	case strings.HasPrefix(name, "Add"), strings.HasPrefix(name, "Load"),
+		strings.HasPrefix(name, "Store"), strings.HasPrefix(name, "Swap"),
+		strings.HasPrefix(name, "CompareAndSwap"), strings.HasPrefix(name, "And"),
+		strings.HasPrefix(name, "Or"):
+	default:
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, isPkg := pkg.Info.Uses[id].(*types.PkgName)
+	return isPkg && pn.Imported().Path() == "sync/atomic"
+}
+
+// shortPath trims the filename to its last two path segments for compact
+// cross-references inside diagnostics.
+func shortPath(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) <= 2 {
+		return path
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxFlow enforces context threading on request paths: a function that
+// already receives a context.Context (or an *http.Request, which carries
+// one) must not mint a fresh root with context.Background()/context.TODO()
+// — doing so silently detaches everything downstream from the caller's
+// deadline and cancellation, which is exactly the bug class the engine's
+// cooperative-stop design exists to prevent. Entry-point functions without
+// a context parameter (cmd main loops, New constructors, compatibility
+// wrappers like Mine) are where roots belong and are not flagged. A named
+// context parameter that the body never uses is flagged too: it advertises
+// cancellation the function does not deliver.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag context.Background()/TODO() in functions that already receive a context, and unused context parameters",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	path := pass.Pkg.Path
+	if strings.Contains(path, "/cmd/") || strings.Contains(path, "/examples/") ||
+		strings.HasPrefix(path, "cmd/") || strings.HasPrefix(path, "examples/") {
+		return // entry layer: roots are created here by design
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCtxFlow(pass, fn)
+		}
+	}
+}
+
+func checkCtxFlow(pass *Pass, fn *ast.FuncDecl) {
+	var ctxParams []*ast.Ident // named context.Context parameters
+	hasCtx, hasReq := false, false
+	for _, p := range fn.Type.Params.List {
+		switch typeText(pass.Pkg, p.Type) {
+		case "context.Context":
+			hasCtx = true
+			for _, name := range p.Names {
+				if name.Name != "_" {
+					ctxParams = append(ctxParams, name)
+				}
+			}
+		case "*http.Request":
+			hasReq = true
+		}
+	}
+	if !hasCtx && !hasReq {
+		return
+	}
+
+	used := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			for _, root := range []string{"Background", "TODO"} {
+				if isPkgCall(pass.Pkg, call, "context", root) {
+					if hasCtx {
+						pass.Reportf(call.Pos(), "%s already receives a context.Context; thread it instead of calling context.%s", funcDisplayName(fn), root)
+					} else {
+						pass.Reportf(call.Pos(), "%s receives an *http.Request; use its Context() instead of calling context.%s", funcDisplayName(fn), root)
+					}
+				}
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			used[id.Name] = true
+		}
+		return true
+	})
+	for _, p := range ctxParams {
+		if !used[p.Name] {
+			pass.Reportf(p.Pos(), "context parameter %s of %s is never used; the function advertises cancellation it does not deliver", p.Name, funcDisplayName(fn))
+		}
+	}
+}
+
+// typeText renders a parameter type for shape matching ("context.Context",
+// "*http.Request") — syntactic, so it works without type information.
+func typeText(pkg *Package, e ast.Expr) string {
+	return exprString(pkg.Fset, e)
+}

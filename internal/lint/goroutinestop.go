@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineStop requires every goroutine launched in library code to be
+// tied to a stop signal visible in scope: a context.Context, a channel
+// (done/quit/result — any channel operation counts, including the close
+// that signals completion), or a sync.WaitGroup. An unstoppable goroutine
+// outlives the run that spawned it, keeps its worker state alive, and —
+// in the mining engine — can publish counts after a checkpoint quiesce
+// thinks the frontier is settled. The evidence search covers the goroutine
+// body (for `go func` literals and same-package named functions) and the
+// call's arguments, so passing a ctx into an unresolvable callee counts.
+var GoroutineStop = &Analyzer{
+	Name: "goroutinestop",
+	Doc:  "flag goroutines in library code with no visible stop signal (context, channel, or WaitGroup)",
+	Run:  runGoroutineStop,
+}
+
+func runGoroutineStop(pass *Pass) {
+	path := pass.Pkg.Path
+	if strings.Contains(path, "/cmd/") || strings.Contains(path, "/examples/") ||
+		strings.HasPrefix(path, "cmd/") || strings.HasPrefix(path, "examples/") {
+		return // process lifetime bounds entry-layer goroutines
+	}
+
+	// Index same-package function declarations for `go name(...)` and
+	// `go recv.method(...)` resolution.
+	byObj := map[types.Object]*ast.FuncDecl{}
+	byName := map[string][]*ast.FuncDecl{}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			byName[fn.Name.Name] = append(byName[fn.Name.Name], fn)
+			if pass.Pkg.Info != nil {
+				if obj := pass.Pkg.Info.Defs[fn.Name]; obj != nil {
+					byObj[obj] = fn
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if hasStopEvidence(pass.Pkg, g, byObj, byName) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "goroutine launched without a visible stop signal (context, done channel, or WaitGroup)")
+			return true
+		})
+	}
+}
+
+// hasStopEvidence looks for a stop signal in the goroutine's body (func
+// literal or resolved same-package declaration) and in the go call's
+// arguments.
+func hasStopEvidence(pkg *Package, g *ast.GoStmt, byObj map[types.Object]*ast.FuncDecl, byName map[string][]*ast.FuncDecl) bool {
+	for _, arg := range g.Call.Args {
+		if exprIsStopSignal(pkg, arg) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyHasStopEvidence(pkg, fun.Body)
+	default:
+		var targets []*ast.FuncDecl
+		if obj := calleeObject(pkg, g.Call); obj != nil {
+			if d, ok := byObj[obj]; ok {
+				targets = []*ast.FuncDecl{d}
+			}
+		} else {
+			switch f := fun.(type) {
+			case *ast.Ident:
+				targets = byName[f.Name]
+			case *ast.SelectorExpr:
+				targets = byName[f.Sel.Name]
+			}
+		}
+		for _, t := range targets {
+			if bodyHasStopEvidence(pkg, t.Body) {
+				return true
+			}
+			// A context/channel/WaitGroup parameter counts even when the
+			// body evidence is indirect.
+			for _, p := range t.Type.Params.List {
+				if typeText(pkg, p.Type) == "context.Context" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+}
+
+// bodyHasStopEvidence scans one function body for any stop-signal use:
+// channel operations, context values, or WaitGroup calls.
+func bodyHasStopEvidence(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if exprIsChannel(pkg, node.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isBuiltinCall(pkg, node, "close") {
+				found = true
+				break
+			}
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Done", "Wait", "Add":
+					if exprIsWaitGroupish(pkg, sel.X) {
+						found = true
+					}
+				}
+			}
+		case ast.Expr:
+			if exprIsStopSignal(pkg, node) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprIsStopSignal reports whether e is a context or channel value — typed
+// when type info resolves, by conventional name otherwise.
+func exprIsStopSignal(pkg *Package, e ast.Expr) bool {
+	if exprIsChannel(pkg, e) {
+		return true
+	}
+	if pkg.Info != nil {
+		if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+			if named, ok := tv.Type.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name == "ctx" || strings.HasSuffix(id.Name, "Ctx")
+	}
+	return false
+}
+
+func exprIsChannel(pkg *Package, e ast.Expr) bool {
+	if pkg.Info == nil {
+		return false
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// exprIsWaitGroupish matches a sync.WaitGroup receiver, falling back to the
+// conventional wg naming when untyped.
+func exprIsWaitGroupish(pkg *Package, e ast.Expr) bool {
+	if pkg.Info != nil {
+		if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				obj := named.Obj()
+				return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+			}
+			return false
+		}
+	}
+	txt := strings.ToLower(exprString(pkg.Fset, e))
+	return strings.Contains(txt, "wg")
+}

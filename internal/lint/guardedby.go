@@ -1,0 +1,426 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// GuardedBy enforces `// guarded by <mu>` field annotations: an annotated
+// field may only be accessed while the named sibling mutex is held. The
+// check runs a must-hold walk over each function body — Lock/RLock sets the
+// held state, an inline Unlock clears it, a deferred Unlock keeps it to
+// scope exit, and branches merge conservatively (held after an if only when
+// held on every non-returning path). Functions whose name ends in "Locked"
+// are exempt: by repo convention their caller holds the lock. Only accesses
+// through the method receiver or a function parameter are checked — locals
+// are usually still under construction and not yet shared.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "flag access to a `// guarded by <mu>` field without holding that mutex",
+	Run:  runGuardedBy,
+}
+
+var guardedByRe = regexp.MustCompile(`\bguarded by (\w+)`)
+
+// guard describes one annotated field.
+type guard struct {
+	structName string
+	fieldName  string
+	muName     string
+}
+
+func runGuardedBy(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Info == nil {
+		return // field resolution needs types
+	}
+
+	// Collect annotations and validate that the named mutex is a sibling
+	// field of the same struct.
+	guards := map[types.Object]guard{} // annotated field object → guard
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardAnnotation(fld)
+				if mu == "" {
+					continue
+				}
+				if !fieldNames[mu] {
+					pass.Reportf(fld.Pos(), "field %s is guarded by %q, which is not a field of struct %s",
+						fieldName(fld), mu, ts.Name.Name)
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						guards[obj] = guard{structName: ts.Name.Name, fieldName: name.Name, muName: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return
+	}
+
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // caller holds the lock by convention
+			}
+			bases := map[string]bool{}
+			if r := recvIdentName(fn); r != "" && r != "_" {
+				bases[r] = true
+			}
+			for _, p := range fn.Type.Params.List {
+				for _, name := range p.Names {
+					if name.Name != "_" {
+						bases[name.Name] = true
+					}
+				}
+			}
+			if len(bases) == 0 {
+				continue
+			}
+			w := &guardWalker{pass: pass, guards: guards, bases: bases, fn: fn}
+			w.block(fn.Body.List, lockState{})
+		}
+	}
+}
+
+// lockState maps "base.mu" keys to must-hold facts.
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// merge keeps only the locks held on both paths.
+func (s lockState) merge(o lockState) lockState {
+	out := lockState{}
+	for k, v := range s {
+		if v && o[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// guardWalker performs the must-hold walk over one function body.
+type guardWalker struct {
+	pass   *Pass
+	guards map[types.Object]guard
+	bases  map[string]bool
+	fn     *ast.FuncDecl
+}
+
+// block walks a statement list, threading lock state; it returns the state
+// at the fall-through exit and whether every path out of the list returns
+// (or otherwise leaves the enclosing function/loop).
+func (w *guardWalker) block(stmts []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *guardWalker) stmt(s ast.Stmt, st lockState) (lockState, bool) {
+	switch node := s.(type) {
+	case *ast.BlockStmt:
+		return w.block(node.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(node.Stmt, st)
+	case *ast.ReturnStmt:
+		for _, r := range node.Results {
+			st = w.expr(r, st)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear flow; treat like return so
+		// early-unlock-and-bail branches do not poison the main path.
+		return st, true
+	case *ast.DeferStmt:
+		// defer base.mu.Unlock() holds to scope exit: no state change. Any
+		// other deferred call gets its accesses checked against the current
+		// (conservative) state; a deferred func literal is its own context.
+		if _, _, ok := w.mutexOp(node.Call); ok {
+			return st, false
+		}
+		return w.exprNoCall(node.Call, st), false
+	case *ast.GoStmt:
+		return w.exprNoCall(node.Call, st), false
+	case *ast.IfStmt:
+		if node.Init != nil {
+			st, _ = w.stmt(node.Init, st)
+		}
+		st = w.expr(node.Cond, st)
+		thenSt, thenTerm := w.block(node.Body.List, st.clone())
+		elseSt, elseTerm := st.clone(), false
+		if node.Else != nil {
+			elseSt, elseTerm = w.stmt(node.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return thenSt.merge(elseSt), false
+		}
+	case *ast.ForStmt:
+		if node.Init != nil {
+			st, _ = w.stmt(node.Init, st)
+		}
+		if node.Cond != nil {
+			st = w.expr(node.Cond, st)
+		}
+		bodySt, _ := w.block(node.Body.List, st.clone())
+		if node.Post != nil {
+			w.stmt(node.Post, bodySt)
+		}
+		// The loop may run zero times and lock changes inside may not
+		// settle: only locks held on both entry and body exit survive.
+		return st.merge(bodySt), false
+	case *ast.RangeStmt:
+		st = w.expr(node.X, st)
+		bodySt, _ := w.block(node.Body.List, st.clone())
+		return st.merge(bodySt), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(node, st)
+	default:
+		// Linear statement: apply its lock ops and accesses in source order.
+		return w.linear(s, st), false
+	}
+}
+
+// branches handles switch/type-switch/select: each clause starts from the
+// incoming state; the exit state keeps only locks held by every
+// non-terminating clause.
+func (w *guardWalker) branches(s ast.Stmt, st lockState) (lockState, bool) {
+	var body *ast.BlockStmt
+	switch node := s.(type) {
+	case *ast.SwitchStmt:
+		if node.Init != nil {
+			st, _ = w.stmt(node.Init, st)
+		}
+		if node.Tag != nil {
+			st = w.expr(node.Tag, st)
+		}
+		body = node.Body
+	case *ast.TypeSwitchStmt:
+		if node.Init != nil {
+			st, _ = w.stmt(node.Init, st)
+		}
+		st = w.linear(node.Assign, st)
+		body = node.Body
+	case *ast.SelectStmt:
+		body = node.Body
+	}
+	var out lockState
+	allTerm := len(body.List) > 0
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				st = w.expr(e, st)
+			}
+			stmts = cl.Body
+			hasDefault = hasDefault || cl.List == nil
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				st, _ = w.stmt(cl.Comm, st.clone())
+			}
+			stmts = cl.Body
+			hasDefault = hasDefault || cl.Comm == nil
+		}
+		clSt, clTerm := w.block(stmts, st.clone())
+		if clTerm {
+			continue
+		}
+		allTerm = false
+		if out == nil {
+			out = clSt
+		} else {
+			out = out.merge(clSt)
+		}
+	}
+	if allTerm && hasDefault {
+		return st, true
+	}
+	if out == nil {
+		return st, false
+	}
+	if !hasDefault {
+		// A switch without default can fall through untouched.
+		out = out.merge(st)
+	}
+	return out, false
+}
+
+// guardItem is one ordered lock op or guarded access inside a statement.
+type guardItem struct {
+	pos    token.Pos
+	key    string
+	lock   bool
+	access *guard // nil for lock ops
+}
+
+// linear processes a statement with no nested control flow: lock operations
+// and guarded accesses apply in source order.
+func (w *guardWalker) linear(s ast.Stmt, st lockState) lockState {
+	return w.apply(w.collect(s), st)
+}
+
+// expr checks accesses inside an expression and applies any lock calls.
+func (w *guardWalker) expr(e ast.Expr, st lockState) lockState {
+	return w.apply(w.collect(e), st)
+}
+
+// exprNoCall checks a call's arguments and callee without executing the
+// call's own lock semantics (go/defer run later, under a different
+// schedule). A func-literal callee is picked up by collect and analyzed as
+// its own lock context.
+func (w *guardWalker) exprNoCall(call *ast.CallExpr, st lockState) lockState {
+	items := w.collect(call.Fun)
+	for _, a := range call.Args {
+		items = append(items, w.collect(a)...)
+	}
+	return w.apply(items, st)
+}
+
+func (w *guardWalker) apply(items []guardItem, st lockState) lockState {
+	sort.Slice(items, func(i, j int) bool { return items[i].pos < items[j].pos })
+	st = st.clone()
+	for _, it := range items {
+		if it.access == nil {
+			st[it.key] = it.lock
+			continue
+		}
+		if !st[it.key] {
+			g := it.access
+			w.pass.Reportf(it.pos, "%s.%s is guarded by %s, but %s accesses it without holding %s",
+				g.structName, g.fieldName, g.muName, funcDisplayName(w.fn), it.key)
+		}
+	}
+	return st
+}
+
+// collect gathers the ordered lock ops and guarded accesses of a node,
+// without descending into nested function literals (their bodies are
+// independent contexts analyzed with an empty lock state).
+func (w *guardWalker) collect(n ast.Node) []guardItem {
+	var items []guardItem
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch node := m.(type) {
+		case *ast.FuncLit:
+			w.block(node.Body.List, lockState{})
+			return false
+		case *ast.CallExpr:
+			if key, lock, ok := w.mutexOp(node); ok {
+				items = append(items, guardItem{pos: node.Pos(), key: key, lock: lock})
+			}
+			return true
+		case *ast.SelectorExpr:
+			base, ok := ast.Unparen(node.X).(*ast.Ident)
+			if !ok || !w.bases[base.Name] {
+				return true
+			}
+			obj := w.pass.Pkg.Info.Uses[node.Sel]
+			if obj == nil {
+				return true
+			}
+			if g, guarded := w.guards[obj]; guarded {
+				gg := g
+				items = append(items, guardItem{
+					pos: node.Sel.Pos(), key: base.Name + "." + g.muName, access: &gg,
+				})
+			}
+			return true
+		}
+		return true
+	})
+	return items
+}
+
+// mutexOp matches base.mu.Lock/RLock/Unlock/RUnlock() where base is a
+// checked binding, returning the "base.mu" key and whether the op acquires.
+func (w *guardWalker) mutexOp(call *ast.CallExpr) (key string, lock, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		lock = true
+	case "Unlock", "RUnlock":
+		lock = false
+	default:
+		return "", false, false
+	}
+	mu, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	base, isID := ast.Unparen(mu.X).(*ast.Ident)
+	if !isID || !w.bases[base.Name] {
+		return "", false, false
+	}
+	return base.Name + "." + mu.Sel.Name, lock, true
+}
+
+// guardAnnotation extracts the mutex name from a field's `// guarded by
+// <mu>` doc or end-of-line comment ("" when unannotated).
+func guardAnnotation(fld *ast.Field) string {
+	for _, group := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if group == nil {
+			continue
+		}
+		for _, c := range group.List {
+			if m := guardedByRe.FindStringSubmatch(c.Text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+func fieldName(fld *ast.Field) string {
+	if len(fld.Names) > 0 {
+		return fld.Names[0].Name
+	}
+	return "(embedded)"
+}

@@ -1,10 +1,16 @@
 // Package lint is OHMiner's project-specific static-analysis framework:
 // a small analyzer harness over go/parser + go/ast + go/types (stdlib
-// only, preserving the repo's zero-dependency invariant) plus four
-// analyzers that encode the engine's unwritten contracts — the hot path
-// allocates nothing, worker scratch never escapes, stamp arrays are
-// advanced with wraparound handling, and library packages return errors
-// instead of panicking. See docs/LINTING.md for the invariant behind each
+// only, preserving the repo's zero-dependency invariant) plus eight
+// analyzers that encode the engine's unwritten contracts. The seed-era
+// four guard the mining inner loop — the hot path allocates nothing,
+// worker scratch never escapes, stamp arrays are advanced with wraparound
+// handling, and library packages return errors instead of panicking. The
+// concurrency-discipline four guard the distributed system layered on top
+// — annotated fields are only touched with their mutex held (guardedby),
+// atomics are never mixed with plain access (atomicmix), request paths
+// thread their context instead of minting fresh roots (ctxflow), and
+// every library goroutine is tied to a visible stop signal
+// (goroutinestop). See docs/LINTING.md for the invariant behind each
 // analyzer and the suppression syntax.
 //
 // The framework is deliberately package-local: every analyzer sees one
@@ -69,7 +75,10 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the project's analyzer suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{HotPathAlloc, ScratchEscape, StampDiscipline, NoPanicLib}
+	return []*Analyzer{
+		HotPathAlloc, ScratchEscape, StampDiscipline, NoPanicLib,
+		GuardedBy, AtomicMix, CtxFlow, GoroutineStop,
+	}
 }
 
 // ByName returns the named analyzer.
@@ -83,7 +92,10 @@ func ByName(name string) (*Analyzer, error) {
 }
 
 // Run executes the analyzers over the packages and returns the surviving
-// diagnostics sorted by file position.
+// diagnostics sorted by file position, with repeats at the same position
+// removed — an analyzer re-reporting an identical finding, or two
+// analyzers flagging the same message at the same site, produce one line —
+// so `make lint` output is deterministic and diffable.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
@@ -103,19 +115,35 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if n := len(out); n > 0 {
+			prev := out[n-1]
+			samePos := prev.Pos.Filename == d.Pos.Filename && prev.Pos.Line == d.Pos.Line && prev.Pos.Column == d.Pos.Column
+			if samePos && prev.Message == d.Message {
+				continue // duplicate finding (same or different analyzer)
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // Directive comments.
 //
-//	//ohmlint:hotpath              — on a func: root of the allocation-free hot path
-//	//ohmlint:scratch              — on a struct type: slice/map fields are worker-owned scratch
-//	//ohmlint:allow <names> -- why — on or above a line: suppress the named analyzers there
+//	//ohmlint:hotpath               — on a func: root of the allocation-free hot path
+//	//ohmlint:scratch               — on a struct type: slice/map fields are worker-owned scratch
+//	//ohmlint:allow <names> -- why  — on or above a line: suppress the named analyzers there
+//	//lint:ignore <names> <reason>  — same suppression, staticcheck-style spelling
 const (
 	directivePrefix = "//ohmlint:"
 	allowDirective  = "//ohmlint:allow"
+	ignoreDirective = "//lint:ignore"
 )
 
 // hasDirective reports whether the comment group carries the directive
@@ -145,4 +173,29 @@ func allowedNames(text string) []string {
 	}
 	fields := strings.FieldsFunc(rest, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
 	return fields
+}
+
+// parseSuppression recognizes both suppression spellings and returns the
+// suppressed analyzer names plus the reason text (empty when the author
+// omitted one — `ohmlint -suppressions` flags that). ok is false for
+// non-suppression comments.
+func parseSuppression(text string) (names []string, reason string, ok bool) {
+	if rest := strings.TrimPrefix(text, allowDirective); rest != text {
+		if i := strings.Index(rest, "--"); i >= 0 {
+			reason = strings.TrimSpace(rest[i+2:])
+			rest = rest[:i]
+		}
+		names = strings.FieldsFunc(rest, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+		return names, reason, true
+	}
+	if rest := strings.TrimPrefix(text, ignoreDirective); rest != text {
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return nil, "", true // malformed: no analyzer names
+		}
+		names = strings.FieldsFunc(fields[0], func(r rune) bool { return r == ',' })
+		reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+		return names, reason, true
+	}
+	return nil, "", false
 }

@@ -59,6 +59,10 @@ func TestGoldenHotPathAlloc(t *testing.T)    { runGolden(t, HotPathAlloc, "hotpa
 func TestGoldenScratchEscape(t *testing.T)   { runGolden(t, ScratchEscape, "scratch") }
 func TestGoldenStampDiscipline(t *testing.T) { runGolden(t, StampDiscipline, "stamp") }
 func TestGoldenNoPanicLib(t *testing.T)      { runGolden(t, NoPanicLib, "nopanic") }
+func TestGoldenGuardedBy(t *testing.T)       { runGolden(t, GuardedBy, "guardedby") }
+func TestGoldenAtomicMix(t *testing.T)       { runGolden(t, AtomicMix, "atomicmix") }
+func TestGoldenCtxFlow(t *testing.T)         { runGolden(t, CtxFlow, "ctxflow") }
+func TestGoldenGoroutineStop(t *testing.T)   { runGolden(t, GoroutineStop, "goroutinestop") }
 
 func TestAllowedNames(t *testing.T) {
 	cases := []struct {
@@ -80,6 +84,36 @@ func TestAllowedNames(t *testing.T) {
 		for i := range got {
 			if got[i] != c.want[i] {
 				t.Errorf("allowedNames(%q) = %v, want %v", c.text, got, c.want)
+			}
+		}
+	}
+}
+
+func TestParseSuppression(t *testing.T) {
+	cases := []struct {
+		text   string
+		names  []string
+		reason string
+		ok     bool
+	}{
+		{"//ohmlint:allow hotpath-alloc", []string{"hotpath-alloc"}, "", true},
+		{"//ohmlint:allow a, b -- shared buffer, single writer", []string{"a", "b"}, "shared buffer, single writer", true},
+		{"//lint:ignore ctxflow fire-and-forget by design", []string{"ctxflow"}, "fire-and-forget by design", true},
+		{"//lint:ignore guardedby,atomicmix init is single-threaded", []string{"guardedby", "atomicmix"}, "init is single-threaded", true},
+		{"//lint:ignore ctxflow", []string{"ctxflow"}, "", true},
+		{"// regular comment", nil, "", false},
+		{"//nolint:something", nil, "", false},
+	}
+	for _, c := range cases {
+		names, reason, ok := parseSuppression(c.text)
+		if ok != c.ok || reason != c.reason || len(names) != len(c.names) {
+			t.Errorf("parseSuppression(%q) = (%v, %q, %v), want (%v, %q, %v)",
+				c.text, names, reason, ok, c.names, c.reason, c.ok)
+			continue
+		}
+		for i := range names {
+			if names[i] != c.names[i] {
+				t.Errorf("parseSuppression(%q) names = %v, want %v", c.text, names, c.names)
 			}
 		}
 	}

@@ -33,6 +33,17 @@ type Package struct {
 
 	// allowed maps filename → line → analyzer names suppressed there.
 	allowed map[string]map[int]map[string]bool
+	// Suppressions lists every suppression directive of the package, in
+	// source order, for the `ohmlint -suppressions` audit.
+	Suppressions []Suppression
+}
+
+// Suppression records one suppression directive for auditing.
+type Suppression struct {
+	Pos       token.Position
+	Directive string   // the directive spelling, e.g. "//ohmlint:allow"
+	Names     []string // suppressed analyzer names
+	Reason    string   // justification text; empty when omitted
 }
 
 // allows reports whether an //ohmlint:allow comment on the diagnostic's
@@ -154,15 +165,26 @@ func parseDir(fset *token.FileSet, dir string) (*Package, error) {
 	return pkg, nil
 }
 
-// recordAllows indexes every //ohmlint:allow comment of the file by line.
+// recordAllows indexes every //ohmlint:allow and //lint:ignore comment of
+// the file by line, and appends each to the suppression audit list.
 func (p *Package) recordAllows(f *ast.File) {
 	for _, group := range f.Comments {
 		for _, c := range group.List {
-			names := allowedNames(c.Text)
-			if len(names) == 0 {
+			names, reason, ok := parseSuppression(c.Text)
+			if !ok {
 				continue
 			}
 			pos := p.Fset.Position(c.Pos())
+			directive := allowDirective
+			if strings.HasPrefix(c.Text, ignoreDirective) {
+				directive = ignoreDirective
+			}
+			p.Suppressions = append(p.Suppressions, Suppression{
+				Pos: pos, Directive: directive, Names: names, Reason: reason,
+			})
+			if len(names) == 0 {
+				continue
+			}
 			lines := p.allowed[pos.Filename]
 			if lines == nil {
 				lines = map[int]map[string]bool{}

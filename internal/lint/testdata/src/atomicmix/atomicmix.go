@@ -1,0 +1,42 @@
+// Package atomicmix exercises the atomicmix analyzer: a field touched via
+// sync/atomic anywhere may never be accessed non-atomically elsewhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64
+	misses uint64
+	name   string
+}
+
+// hit and read use the atomic API consistently: legal.
+func (c *counters) hit() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) read() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// racyRead reads the atomically-updated field directly.
+func (c *counters) racyRead() uint64 {
+	return c.hits
+}
+
+// racyWrite resets it with a plain store.
+func (c *counters) racyWrite() {
+	c.hits = 0
+}
+
+// plainOnly fields never touched atomically are unconstrained: legal.
+func (c *counters) plainOnly() {
+	c.misses++
+	c.name = "warm"
+}
+
+// suppressed demonstrates the //lint:ignore directive.
+func (c *counters) suppressed() uint64 {
+	//lint:ignore atomicmix workers have joined; no concurrent writers remain
+	return c.hits
+}

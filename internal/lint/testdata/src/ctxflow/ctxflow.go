@@ -1,0 +1,43 @@
+// Package ctxflow exercises the ctxflow analyzer: a function that already
+// receives a context must thread it instead of minting a fresh root, and a
+// context parameter must actually be used.
+package ctxflow
+
+import "context"
+
+// threaded derives from the caller's context: legal.
+func threaded(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return sub.Err()
+}
+
+// detached drops the caller's deadline on the floor.
+func detached(ctx context.Context) error {
+	c := context.Background()
+	_ = ctx
+	return c.Err()
+}
+
+// todo hides the same detachment behind TODO.
+func todo(ctx context.Context) error {
+	_ = ctx
+	return context.TODO().Err()
+}
+
+// unused advertises cancellation it never delivers.
+func unused(ctx context.Context) int {
+	return 1
+}
+
+// entry has no context parameter — this is where roots belong: legal.
+func entry() context.Context {
+	return context.Background()
+}
+
+// suppressed demonstrates the //lint:ignore directive.
+func suppressed(ctx context.Context) context.Context {
+	_ = ctx
+	//lint:ignore ctxflow fire-and-forget audit write must outlive the request
+	return context.Background()
+}

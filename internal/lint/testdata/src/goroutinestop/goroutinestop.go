@@ -1,0 +1,84 @@
+// Package goroutinestop exercises the goroutinestop analyzer: every
+// goroutine launched in library code must be tied to a stop signal —
+// a context, a channel, or a WaitGroup — visible in scope.
+package goroutinestop
+
+import (
+	"context"
+	"sync"
+)
+
+type svc struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// startCtx ties the goroutine to the caller's context: legal.
+func (s *svc) startCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// startDone polls a done channel: legal.
+func (s *svc) startDone() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// startWG signals completion through a WaitGroup: legal.
+func (s *svc) startWG() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+// leak spins forever with nothing to stop it.
+func (s *svc) leak() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// named launches a same-package method whose body blocks on done: legal.
+func (s *svc) named() {
+	go s.loop()
+}
+
+func (s *svc) loop() {
+	<-s.done
+}
+
+// leakNamed launches a same-package function with no stop signal.
+func (s *svc) leakNamed() {
+	go spin()
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// suppressed demonstrates the //lint:ignore directive.
+func (s *svc) suppressed() {
+	//lint:ignore goroutinestop lives exactly as long as the process, by design
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func work() {}

@@ -1,0 +1,78 @@
+// Package guardedby exercises the guardedby analyzer: fields annotated
+// `guarded by <mu>` may only be accessed while that mutex is held.
+package guardedby
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	count int            // guarded by mu
+
+	bad int // guarded by missing
+}
+
+// get holds the lock via defer: legal.
+func (r *registry) get(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.items[k]
+}
+
+// put brackets the accesses inline: legal.
+func (r *registry) put(k string, v int) {
+	r.mu.Lock()
+	r.items[k] = v
+	r.count++
+	r.mu.Unlock()
+}
+
+// take unlocks early on the miss branch; the main path stays locked: legal.
+func (r *registry) take(k string) (int, bool) {
+	r.mu.Lock()
+	v, ok := r.items[k]
+	if !ok {
+		r.mu.Unlock()
+		return 0, false
+	}
+	delete(r.items, k)
+	r.mu.Unlock()
+	return v, true
+}
+
+// sizeLocked follows the *Locked convention — the caller holds mu: exempt.
+func (r *registry) sizeLocked() int { return len(r.items) }
+
+// unlocked reads a guarded field with no lock anywhere.
+func (r *registry) unlocked(k string) int {
+	return r.items[k]
+}
+
+// racyAfterUnlock re-reads after releasing the lock.
+func (r *registry) racyAfterUnlock() int {
+	r.mu.Lock()
+	n := r.count
+	r.mu.Unlock()
+	return n + r.count
+}
+
+// goroutine: lock state does not flow into a func literal — the goroutine
+// runs after the deferred unlock may have fired.
+func (r *registry) goroutine() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		r.count++
+	}()
+}
+
+// suppressed demonstrates the //lint:ignore directive.
+func (r *registry) suppressed() int {
+	//lint:ignore guardedby single-threaded startup, not yet published
+	return r.count
+}
+
+// update shows that parameter-based accesses are checked like receivers.
+func update(r *registry) {
+	r.count++
+}

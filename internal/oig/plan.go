@@ -142,6 +142,10 @@ type Plan struct {
 	Graph *Graph
 	// CompileTime is the wall-clock compilation duration (OIG-T, Table 6).
 	CompileTime time.Duration
+	// FP is the semantic fingerprint computed by Fingerprint at the end of
+	// compilation. VerifyProgram recomputes it to detect post-compile
+	// mutation of any field that affects counting; zero means unstamped.
+	FP uint64
 }
 
 // Compile analyzes the pattern and produces its execution plan. The pattern
@@ -211,6 +215,12 @@ func CompileOrdered(p *pattern.Pattern, mode Mode, order []int) (*Plan, error) {
 		return nil, fmt.Errorf("oig: unknown mode %d", mode)
 	}
 	plan.optimizeCountOnly()
+	plan.FP = Fingerprint(plan)
+	// Debug assertion: the compiler must only ever emit valid programs. The
+	// check is linear in the plan, dwarfed by the exponential compile itself.
+	if err := VerifyProgram(plan); err != nil {
+		return nil, fmt.Errorf("oig: compiler emitted an invalid plan: %w", err)
+	}
 	plan.CompileTime = time.Since(start)
 	return plan, nil
 }

@@ -78,13 +78,13 @@ type job struct {
 	spec JobSpec
 
 	mu      sync.Mutex
-	state   string
-	result  *QueryResponse
-	stats   ohminer.Stats
-	seq     uint64
-	ordered uint64
-	resumes uint64
-	errMsg  string
+	state   string         // guarded by mu
+	result  *QueryResponse // guarded by mu
+	stats   ohminer.Stats  // guarded by mu
+	seq     uint64         // guarded by mu
+	ordered uint64         // guarded by mu
+	resumes uint64         // guarded by mu
+	errMsg  string         // guarded by mu
 }
 
 func (j *job) status() JobStatus {

@@ -108,7 +108,7 @@ type Server struct {
 
 	// Jobs subsystem (enabled by Config.CheckpointDir; see jobs.go).
 	jobsMu sync.Mutex
-	jobs   map[string]*job
+	jobs   map[string]*job // guarded by jobsMu
 	jobSeq atomic.Uint64
 	jobWG  sync.WaitGroup
 }
