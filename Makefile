@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples serve-smoke cluster-smoke chaos fmt fmt-check vet lint lint-fix-check ci clean
+.PHONY: all build test test-short race cover bench bench-json bench-smoke fuzz experiments examples serve-smoke cluster-smoke chaos fmt fmt-check vet lint lint-fix-check ci clean
 
 all: build test lint
 
@@ -24,15 +24,22 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable engine benchmark cells (scheduler scaling ablation) —
-# tracked across PRs in BENCH_engine.json.
+# Machine-readable engine benchmark cells (scheduler scaling + set-kernel
+# ablations) — tracked across PRs in BENCH_engine.json.
 bench-json:
-	$(GO) run ./cmd/ohmbench -exp sched -json BENCH_engine.json
+	$(GO) run ./cmd/ohmbench -exp sched,kern -json BENCH_engine.json
+
+# Fast correctness gate over the kernel ablation: runs scalar, fast, and
+# adaptive kernels on the reduced-size density grid and fails on any
+# ordered-count disagreement between the kernel families.
+bench-smoke:
+	$(GO) run ./cmd/ohmbench -exp kern -quick
 
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/hypergraph
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/pattern
 	$(GO) test -fuzz FuzzLoad -fuzztime 30s ./internal/dal
+	$(GO) test -fuzz FuzzIntersectKernels -fuzztime 30s ./internal/intset
 	$(GO) test -fuzz FuzzPlanVerify -fuzztime 30s ./internal/engine
 
 # Regenerate the paper's tables and figures (minutes; see EXPERIMENTS.md).
@@ -89,9 +96,9 @@ lint-fix-check:
 	$(GO) run ./cmd/ohmlint -suppressions ./...
 
 # The full local gate: formatting, vet, ohmlint + suppression audit, the
-# race-enabled tests, and the end-to-end smokes (query service +
-# distributed cluster).
-ci: fmt-check vet lint lint-fix-check race serve-smoke cluster-smoke chaos
+# race-enabled tests, the end-to-end smokes (query service + distributed
+# cluster), and the cross-kernel count agreement smoke.
+ci: fmt-check vet lint lint-fix-check race serve-smoke cluster-smoke chaos bench-smoke
 
 clean:
 	$(GO) clean ./...

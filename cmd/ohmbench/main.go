@@ -4,6 +4,7 @@
 //
 //	ohmbench -list
 //	ohmbench -exp fig12            # one experiment, full grid
+//	ohmbench -exp sched,kern       # several, comma-separated
 //	ohmbench -exp all -quick       # everything, trimmed grid
 //	ohmbench -exp table5 -seed 7 -workers 4
 package main
@@ -12,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ohminer/internal/cliio"
@@ -20,7 +22,7 @@ import (
 
 func main() {
 	var (
-		expID    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		expID    = flag.String("exp", "all", "experiment id (see -list), a comma-separated list of ids, or 'all'")
 		quick    = flag.Bool("quick", false, "trim datasets and pattern settings for a fast run")
 		seed     = flag.Int64("seed", 42, "pattern sampling seed")
 		workers  = flag.Int("workers", 0, "mining workers (0 = GOMAXPROCS)")
@@ -58,11 +60,13 @@ func main() {
 	if *expID == "all" {
 		todo = exp.Experiments()
 	} else {
-		e, err := exp.ByID(*expID)
-		if err != nil {
-			fail(2, err)
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fail(2, err)
+			}
+			todo = append(todo, e)
 		}
-		todo = []exp.Experiment{e}
 	}
 
 	ctx := exp.NewContext()

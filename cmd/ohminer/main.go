@@ -71,7 +71,8 @@ func run() error {
 		dense    = flag.Bool("dense", false, "with -sample: require every hyperedge pair to overlap")
 		variant  = flag.String("variant", "OHMiner", "engine variant: OHMiner, OHM-G, OHM-V, OHM-I, HGMatch")
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		scalar   = flag.Bool("scalar", false, "use scalar set kernels (no-SIMD ablation)")
+		kern     = flag.String("kernel", "adaptive", "set-kernel family: adaptive (density-aware containers), fast (static gallop), scalar (no-SIMD ablation)")
+		scalar   = flag.Bool("scalar", false, "shorthand for -kernel scalar")
 		limit    = flag.Uint64("limit", 0, "stop after this many ordered embeddings (0 = all)")
 		seed     = flag.Int64("seed", 1, "sampling seed")
 		showPlan = flag.Bool("plan", false, "print the compiled execution plan")
@@ -152,7 +153,10 @@ func run() error {
 	}
 	opts := engine.Options{Gen: v.Gen, Val: v.Val, Workers: *workers, Limit: *limit}
 	if *scalar {
-		opts.Kernel = scalarKernel()
+		*kern = "scalar"
+	}
+	if opts.Kernel, err = kernelByName(*kern); err != nil {
+		return err
 	}
 	if *verbose {
 		opts.OnEmbedding = func(c []uint32) { out.Println(c) }
@@ -208,6 +212,10 @@ func run() error {
 		v.Name, res.Ordered, res.Unique, res.Automorphisms, res.Elapsed.Round(time.Microsecond))
 	if s := res.Stats; s.Publishes > 0 || s.Steals > 0 {
 		out.Printf("scheduler: publishes=%d steals=%d idle-spins=%d\n", s.Publishes, s.Steals, s.IdleSpins)
+	}
+	if s := res.Stats; s.KernelArray+s.KernelBitmap+s.KernelMixed > 0 {
+		out.Printf("kernel=%s set-ops: array=%d bitmap=%d mixed=%d\n",
+			*kern, s.KernelArray, s.KernelBitmap, s.KernelMixed)
 	}
 	if s := res.Stats; s.Checkpoints > 0 || s.CheckpointErrors > 0 {
 		out.Printf("checkpoints: written=%d bytes=%d errors=%d\n", s.Checkpoints, s.CheckpointBytes, s.CheckpointErrors)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"math/rand"
 
 	"ohminer/internal/intset"
@@ -8,4 +9,15 @@ import (
 
 func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
-func scalarKernel() intset.Kernel { return intset.Scalar }
+// kernelByName resolves the -kernel flag to a set-kernel family.
+func kernelByName(name string) (intset.Kernel, error) {
+	switch name {
+	case "adaptive":
+		return intset.Adaptive, nil
+	case "fast":
+		return intset.Fast, nil
+	case "scalar":
+		return intset.Scalar, nil
+	}
+	return intset.Kernel{}, fmt.Errorf("unknown -kernel %q (have adaptive, fast, scalar)", name)
+}

@@ -122,6 +122,14 @@ func run() error {
 		out.Printf("  DAL: built in %v, %.1f MB, %d distinct degrees\n",
 			time.Since(start).Round(time.Millisecond),
 			float64(store.MemoryBytes())/(1<<20), len(store.Degrees()))
+		// Adaptive-container census: how much of this dataset the set
+		// kernels can run on bitmap windows (dense, word-parallel) rather
+		// than sorted arrays — the density profile behind the engine's
+		// per-op container hints.
+		cs := store.Containers()
+		out.Printf("  containers: %d/%d adjacency groups and %d/%d hyperedge vertex sets bitmap-windowed (%.1f KB arenas)\n",
+			cs.AdjWindowed, cs.AdjGroups, cs.EdgeWindowed, cs.EdgeSets,
+			float64(cs.WindowBytes)/(1<<10))
 		// First-step candidate pools from the degree index — the seed tasks
 		// the work-stealing scheduler distributes; a pool of 1-2 edges means
 		// parallelism will come entirely from subtree stealing.

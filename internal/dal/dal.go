@@ -47,6 +47,22 @@ type Store struct {
 	degOff   []uint32
 	degEdges []uint32
 
+	// Adaptive-container arenas: bitmap windows (intset.PlanWords density
+	// rule) packed back to back for the degree groups of the adjacency CSR
+	// and for the hyperedge vertex sets. Group k's window words are
+	// winWords[grpWinOff[k]:grpWinOff[k+1]] at base grpWinBase[k] (equal
+	// offsets mean the group stayed array-only); edge e's vertex-set window
+	// is evWords[evOff[e]:evOff[e+1]] at base evBase[e]. Built once here so
+	// the engine's hot paths assemble intset.Set views without ever
+	// converting or allocating; like the degree index, the arenas are derived
+	// state rebuilt after Load rather than serialized.
+	winWords   []uint64
+	grpWinOff  []uint32
+	grpWinBase []uint32
+	evWords    []uint64
+	evOff      []uint32
+	evBase     []uint32
+
 	buildTime time.Duration
 }
 
@@ -105,8 +121,58 @@ func Build(h *hypergraph.Hypergraph) *Store {
 		s.grpOff[e+1] = uint32(len(s.grpDeg))
 	}
 	s.buildDegreeIndex()
+	s.buildContainers()
 	s.buildTime = time.Since(start)
 	return s
+}
+
+// buildContainers plans a bitmap window for every adjacency degree group and
+// every hyperedge vertex set that passes intset's density rule, packing the
+// words into shared arenas. Also invoked after Load (derived state, not part
+// of the serialized format).
+func (s *Store) buildContainers() {
+	m := s.h.NumEdges()
+	s.grpWinOff = make([]uint32, len(s.grpDeg)+1)
+	s.grpWinBase = make([]uint32, len(s.grpDeg))
+	s.winWords = s.winWords[:0]
+	for e := 0; e < m; e++ {
+		for k := s.grpOff[e]; k < s.grpOff[e+1]; k++ {
+			s.grpWinOff[k] = uint32(len(s.winWords))
+			grp := s.groupSlice(uint32(e), k)
+			if base, nw, lo, hi, ok := intset.PlanWords(grp); ok {
+				s.grpWinBase[k] = base
+				start := len(s.winWords)
+				s.winWords = append(s.winWords, make([]uint64, nw)...)
+				intset.FillWords(s.winWords[start:], base, grp[lo:hi])
+			}
+		}
+	}
+	s.grpWinOff[len(s.grpDeg)] = uint32(len(s.winWords))
+
+	s.evOff = make([]uint32, m+1)
+	s.evBase = make([]uint32, m)
+	s.evWords = s.evWords[:0]
+	for e := 0; e < m; e++ {
+		s.evOff[e] = uint32(len(s.evWords))
+		verts := s.h.EdgeVertices(uint32(e))
+		if base, nw, lo, hi, ok := intset.PlanWords(verts); ok {
+			s.evBase[e] = base
+			start := len(s.evWords)
+			s.evWords = append(s.evWords, make([]uint64, nw)...)
+			intset.FillWords(s.evWords[start:], base, verts[lo:hi])
+		}
+	}
+	s.evOff[m] = uint32(len(s.evWords))
+}
+
+// groupSlice returns the adjacency slice of group k of edge e.
+func (s *Store) groupSlice(e, k uint32) []uint32 {
+	start := s.grpStart[k]
+	end := s.adjOff[e+1]
+	if k+1 < s.grpOff[e+1] {
+		end = s.grpStart[k+1]
+	}
+	return s.adj[start:end]
 }
 
 // buildDegreeIndex derives the global degree→edges CSR from the hypergraph.
@@ -177,14 +243,13 @@ func (s *Store) NumNeighbors(e uint32) int {
 	return int(s.adjOff[e+1] - s.adjOff[e])
 }
 
-// AdjWithDegree returns the group of e's neighbors whose degree is exactly
-// d, sorted by ID. The slice aliases internal storage; it is empty when no
-// neighbor has that degree.
+// adjGroup binary-searches the (small) per-edge group table for the group of
+// e's neighbors with degree exactly d; ok is false when no neighbor has that
+// degree.
 //
 //ohmlint:hotpath
-func (s *Store) AdjWithDegree(e uint32, d int) []uint32 {
+func (s *Store) adjGroup(e uint32, d int) (k uint32, ok bool) {
 	lo, hi := s.grpOff[e], s.grpOff[e+1]
-	// Binary search the (small) per-edge group table.
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if s.grpDeg[mid] < uint32(d) {
@@ -194,20 +259,58 @@ func (s *Store) AdjWithDegree(e uint32, d int) []uint32 {
 		}
 	}
 	if lo == s.grpOff[e+1] || s.grpDeg[lo] != uint32(d) {
-		return nil
+		return 0, false
 	}
-	start := s.grpStart[lo]
-	var end uint32
-	if lo+1 < s.grpOff[e+1] {
-		end = s.grpStart[lo+1]
-	} else {
-		end = s.adjOff[e+1]
-	}
-	return s.adj[start:end]
+	return lo, true
 }
 
-// Connected reports whether hyperedges a and b overlap, by binary search in
-// the degree group of a's adjacency list matching b's degree.
+// AdjWithDegree returns the group of e's neighbors whose degree is exactly
+// d, sorted by ID. The slice aliases internal storage; it is empty when no
+// neighbor has that degree.
+//
+//ohmlint:hotpath
+func (s *Store) AdjWithDegree(e uint32, d int) []uint32 {
+	k, ok := s.adjGroup(e, d)
+	if !ok {
+		return nil
+	}
+	return s.groupSlice(e, k)
+}
+
+// AdjSetWithDegree is AdjWithDegree in adaptive-container form: the same
+// degree group wrapped as an intset.Set carrying its prebuilt bitmap window
+// (if the group's density earned one at Build time). The Set aliases arena
+// storage; nothing is converted or allocated.
+//
+//ohmlint:hotpath
+func (s *Store) AdjSetWithDegree(e uint32, d int) intset.Set {
+	k, ok := s.adjGroup(e, d)
+	if !ok {
+		return intset.Set{}
+	}
+	grp := s.groupSlice(e, k)
+	if s.grpWinOff[k] == s.grpWinOff[k+1] {
+		return intset.ArrayView(grp)
+	}
+	return intset.View(grp, s.winWords[s.grpWinOff[k]:s.grpWinOff[k+1]], s.grpWinBase[k])
+}
+
+// EdgeVertexSet returns hyperedge e's vertex set as an adaptive container:
+// the hypergraph's sorted vertex slice plus the arena bitmap window when the
+// set is dense enough. The Set aliases shared storage.
+//
+//ohmlint:hotpath
+func (s *Store) EdgeVertexSet(e uint32) intset.Set {
+	verts := s.h.EdgeVertices(e)
+	if s.evOff[e] == s.evOff[e+1] {
+		return intset.ArrayView(verts)
+	}
+	return intset.View(verts, s.evWords[s.evOff[e]:s.evOff[e+1]], s.evBase[e])
+}
+
+// Connected reports whether hyperedges a and b overlap, by probing the
+// degree group of a's adjacency list matching b's degree — an O(1) window
+// test when the group is bitmap-backed, binary search otherwise.
 // Connected(e, e) is false: an edge is not its own neighbor.
 //
 //ohmlint:hotpath
@@ -219,7 +322,7 @@ func (s *Store) Connected(a, b uint32) bool {
 	if s.NumNeighbors(b) < s.NumNeighbors(a) {
 		a, b = b, a
 	}
-	return intset.Contains(s.AdjWithDegree(a, s.h.Degree(b)), b)
+	return s.AdjSetWithDegree(a, s.h.Degree(b)).Contains(b)
 }
 
 // Degrees returns the sorted distinct hyperedge degrees present in the
@@ -257,10 +360,66 @@ func (s *Store) NumEdgesWithDegree(d int) int {
 // BuildTime returns the wall-clock construction duration (DAL-T, Table 6).
 func (s *Store) BuildTime() time.Duration { return s.buildTime }
 
+// ContainerStats summarizes the adaptive-container arenas: how many
+// adjacency degree groups and hyperedge vertex sets carry bitmap windows,
+// and the arena footprint. Surfaced by ohmstat next to the Table 6 numbers.
+type ContainerStats struct {
+	// AdjGroups is the total number of adjacency degree groups;
+	// AdjWindowed of them are bitmap-backed.
+	AdjGroups   int
+	AdjWindowed int
+	// EdgeSets is the hyperedge count; EdgeWindowed of their vertex sets are
+	// bitmap-backed.
+	EdgeSets     int
+	EdgeWindowed int
+	// WindowBytes is the total arena size of all window words.
+	WindowBytes int64
+}
+
+// Containers reports the adaptive-container statistics of the store.
+func (s *Store) Containers() ContainerStats {
+	st := ContainerStats{
+		AdjGroups: len(s.grpDeg),
+		EdgeSets:  s.h.NumEdges(),
+	}
+	for k := range s.grpDeg {
+		if s.grpWinOff[k] != s.grpWinOff[k+1] {
+			st.AdjWindowed++
+		}
+	}
+	for e := 0; e < st.EdgeSets; e++ {
+		if s.evOff[e] != s.evOff[e+1] {
+			st.EdgeWindowed++
+		}
+	}
+	st.WindowBytes = int64(len(s.winWords)+len(s.evWords)) * 8
+	return st
+}
+
+// EdgeWindowFrac returns the fraction of degree-d hyperedges whose vertex
+// set is bitmap-backed — the density statistic the plan compiler turns into
+// per-op container hints (a dense degree class makes window probing pay; an
+// all-array class makes the metadata lookup pure overhead).
+func (s *Store) EdgeWindowFrac(d int) float64 {
+	k := s.degreeGroup(d)
+	if k < 0 {
+		return 0
+	}
+	edges := s.degEdges[s.degOff[k]:s.degOff[k+1]]
+	windowed := 0
+	for _, e := range edges {
+		if s.evOff[e] != s.evOff[e+1] {
+			windowed++
+		}
+	}
+	return float64(windowed) / float64(len(edges))
+}
+
 // MemoryBytes estimates the resident size of the DAL arrays (DAL-M,
-// Table 6), including the global degree index.
+// Table 6), including the global degree index and the container arenas.
 func (s *Store) MemoryBytes() int64 {
 	n := len(s.adjOff) + len(s.adj) + len(s.grpOff) + len(s.grpDeg) + len(s.grpStart) +
-		len(s.degList) + len(s.degOff) + len(s.degEdges)
-	return int64(n) * 4
+		len(s.degList) + len(s.degOff) + len(s.degEdges) +
+		len(s.grpWinOff) + len(s.grpWinBase) + len(s.evOff) + len(s.evBase)
+	return int64(n)*4 + int64(len(s.winWords)+len(s.evWords))*8
 }

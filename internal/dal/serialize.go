@@ -132,9 +132,12 @@ func Load(r io.Reader, h *hypergraph.Hypergraph) (*Store, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	// The global degree index is derived from the hypergraph alone, so it is
-	// rebuilt here instead of being part of the file format.
+	// The global degree index and the adaptive-container arenas are derived
+	// state, so they are rebuilt here instead of being part of the file
+	// format (the density rule may also evolve across builds; a stale
+	// serialized window layout would pin old thresholds).
 	s.buildDegreeIndex()
+	s.buildContainers()
 	return s, nil
 }
 

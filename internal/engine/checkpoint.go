@@ -38,7 +38,9 @@ func planFingerprint(plan *oig.Plan) uint64 {
 
 // packStats flattens the Stats counters into the opaque slice a snapshot
 // carries; unpackStats inverts it. The order is part of the snapshot format
-// (bump checkpoint.Version when it changes).
+// (bump checkpoint.Version when it changes); new counters are appended at
+// the end, which unpackStats tolerates missing, so old snapshots resume
+// with those counters zeroed instead of failing.
 func packStats(s Stats) []uint64 {
 	return []uint64{
 		s.Candidates, s.Embeddings, s.SetOps,
@@ -47,6 +49,7 @@ func packStats(s Stats) []uint64 {
 		uint64(s.GenTime), uint64(s.ValTime),
 		s.Publishes, s.Steals, s.IdleSpins,
 		s.Checkpoints, s.CheckpointBytes, s.CheckpointErrors,
+		s.KernelArray, s.KernelBitmap, s.KernelMixed,
 	}
 }
 
@@ -59,6 +62,7 @@ func unpackStats(vs []uint64) Stats {
 		nil, nil, // GenTime/ValTime handled below
 		&s.Publishes, &s.Steals, &s.IdleSpins,
 		&s.Checkpoints, &s.CheckpointBytes, &s.CheckpointErrors,
+		&s.KernelArray, &s.KernelBitmap, &s.KernelMixed,
 	}
 	for i, v := range vs {
 		if i >= len(dst) {

@@ -64,12 +64,14 @@ func (ms *memSink) latest(t *testing.T) *checkpoint.Snapshot {
 }
 
 // slowWorkload returns a workload with enough embeddings that a run
-// throttled by slowEmit spans many checkpoint periods: a 60-edge star whose
+// throttled by slowEmit spans many checkpoint periods: a 90-edge star whose
 // edges pairwise overlap in exactly the hub vertex, so the 2-edge pattern
-// sharing one vertex has 60*59 ordered embeddings.
+// sharing one vertex has 90*89 ordered embeddings (~160ms throttled — wide
+// margin over the 3 checkpoint rounds the kill tests need even on one CPU,
+// where timer-goroutine starvation stretches each quiesce round to ~20ms).
 func slowWorkload(t *testing.T) (*dal.Store, *pattern.Pattern, uint64) {
 	t.Helper()
-	const n = 60
+	const n = 90
 	edges := make([][]uint32, n)
 	for i := range edges {
 		edges[i] = []uint32{0, uint32(i + 1)}

@@ -15,7 +15,8 @@
 // steal them, generalizing the paper's first-level dynamic scheduling so
 // skewed subtrees no longer serialize. Each worker owns all its scratch
 // state, so the steady-state hot path allocates nothing. The intset kernel
-// choice (Fast vs Scalar) reproduces the SIMD on/off ablation.
+// choice reproduces the SIMD ablation: Adaptive (density-aware containers,
+// the default) vs Fast (static gallop/merge) vs Scalar (textbook merge).
 package engine
 
 import (
@@ -116,8 +117,9 @@ type Options struct {
 	Gen GenMode
 	Val ValMode
 	// Kernel selects the set-operation family; the zero value means
-	// intset.Fast (the SIMD stand-in). Pass intset.Scalar for the no-SIMD
-	// ablation.
+	// intset.Adaptive (density-aware containers with SWAR bitmap kernels and
+	// rarest-first k-way intersection). Pass intset.Fast to pin the static
+	// gallop/merge family, or intset.Scalar for the no-SIMD ablation.
 	Kernel intset.Kernel
 	// Workers is the goroutine count; ≤0 means GOMAXPROCS.
 	Workers int
@@ -216,6 +218,15 @@ type Stats struct {
 	Checkpoints      uint64
 	CheckpointBytes  uint64
 	CheckpointErrors uint64
+	// Kernel-path counters: how many set operations (generation k-way
+	// intersections and validation ops) ran word-parallel over bitmap
+	// windows (KernelBitmap), probe-accelerated with one windowed operand
+	// (KernelMixed), or on the plain array kernels (KernelArray). Always
+	// tracked, like the scheduler counters; the kern ablation and ohmstat
+	// surface them to show which representations a workload actually hits.
+	KernelArray  uint64
+	KernelBitmap uint64
+	KernelMixed  uint64
 }
 
 // Add accumulates o into s. Exported for the consumers that merge partial
@@ -237,6 +248,9 @@ func (s *Stats) Add(o Stats) {
 	s.Checkpoints += o.Checkpoints
 	s.CheckpointBytes += o.CheckpointBytes
 	s.CheckpointErrors += o.CheckpointErrors
+	s.KernelArray += o.KernelArray
+	s.KernelBitmap += o.KernelBitmap
+	s.KernelMixed += o.KernelMixed
 }
 
 // Result reports one mining run.
@@ -337,7 +351,7 @@ func mineResumable(ctx context.Context, store *dal.Store, plan *oig.Plan, opts O
 	}
 	kernel := opts.Kernel
 	if kernel.Intersect == nil {
-		kernel = intset.Fast
+		kernel = intset.Adaptive
 	}
 	workers := opts.Workers
 	if workers <= 0 {

@@ -77,8 +77,8 @@ func randHypergraph(rng *rand.Rand, labeled bool) *hypergraph.Hypergraph {
 }
 
 // TestDifferentialAllVariants is the central correctness test: every engine
-// variant, both kernels, 1 and 3 workers, against the brute-force oracle on
-// randomized hypergraphs and patterns.
+// variant, all three kernel families, 1 and 3 workers, against the
+// brute-force oracle on randomized hypergraphs and patterns.
 func TestDifferentialAllVariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	trials := 40
@@ -95,7 +95,7 @@ func TestDifferentialAllVariants(t *testing.T) {
 		}
 		want := bruteforce.Count(h, p)
 		for _, v := range Variants() {
-			for _, kernel := range []intset.Kernel{intset.Fast, intset.Scalar} {
+			for _, kernel := range []intset.Kernel{intset.Adaptive, intset.Fast, intset.Scalar} {
 				for _, workers := range []int{1, 3} {
 					res, err := Mine(store, p, Options{Gen: v.Gen, Val: v.Val, Kernel: kernel, Workers: workers})
 					if err != nil {

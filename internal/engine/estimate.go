@@ -52,7 +52,7 @@ func EstimateCount(store *dal.Store, p *pattern.Pattern, fraction float64, seed 
 	opts.Limit = 0
 	e := &shared{store: store, plan: plan, opts: opts, kernel: opts.Kernel}
 	if e.kernel.Intersect == nil {
-		e.kernel = intset.Fast
+		e.kernel = intset.Adaptive
 	}
 	roots := e.firstCandidates()
 	n := len(roots)

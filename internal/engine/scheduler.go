@@ -271,7 +271,9 @@ func (w *worker) runTask(t *task) {
 // rebuildSlots re-executes the slot-materializing operations of steps
 // 1..depth-1 so that operations at and beyond depth can resolve their slot
 // operands. The prefix already passed validation, so only the intersections
-// that write slots need re-running — checks are skipped.
+// that write slots need re-running — checks are skipped. The same adaptive
+// containers (and container hints) as validateOverlaps apply, so stolen
+// prefixes revalidate on the same kernel paths the publisher used.
 func (w *worker) rebuildSlots(depth int) {
 	kernel := w.e.kernel
 	for t := 1; t < depth; t++ {
@@ -282,7 +284,8 @@ func (w *worker) rebuildSlots(depth int) {
 				continue
 			}
 			w.stats.SetOps++
-			w.slots[op.Out] = kernel.Intersect(w.resolve(op.A), w.resolve(op.B), w.slots[op.Out][:0])
+			a, b := w.resolveSet(op.A, op.Hint), w.resolveSet(op.B, op.Hint)
+			w.slots[op.Out] = kernel.IntersectSets(a, b, w.slots[op.Out][:0])
 		}
 	}
 }

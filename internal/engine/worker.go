@@ -41,7 +41,8 @@ type worker struct {
 
 	labelScratch []int // per-label counter for histogram checks
 	profCount    map[uint64]int
-	adjLists     [][]uint32 // scratch: adjacency groups per generation
+	adjLists     [][]uint32   // scratch: adjacency groups per generation (HGMatch path)
+	adjSets      []intset.Set // scratch: adaptive adjacency containers (DAL path)
 
 	count uint64
 	stop  bool // local mirror of shared.stopped, avoids repeat atomic loads while unwinding
@@ -69,6 +70,7 @@ func newWorker(e *shared, found *atomic.Uint64) *worker {
 		tmp:      make([][]uint32, m),
 		slots:    make([][]uint32, e.plan.NumSlots),
 		adjLists: make([][]uint32, 0, m),
+		adjSets:  make([]intset.Set, 0, m),
 	}
 	for t := 0; t < m; t++ {
 		w.cand[t] = make([]uint32, 0, 64)
@@ -316,18 +318,21 @@ func (w *worker) validate(t int) bool {
 
 // validateOverlaps executes the plan's operations for step t — the
 // incremental EOIG maintenance of Sec. 4.4: each op extends the embedding's
-// overlap state and prunes on the first mismatch.
+// overlap state and prunes on the first mismatch. Operands resolve to
+// adaptive containers (hyperedge vertex sets carry their DAL bitmap windows
+// unless the op's container hint says the degree class is array-only), so
+// dense overlaps run the SWAR/probe kernels and sparse ones the array family.
 func (w *worker) validateOverlaps(t int) bool {
 	h := w.e.store.Hypergraph()
 	kernel := w.e.kernel
 	for i := range w.e.plan.Steps[t].Ops {
 		op := &w.e.plan.Steps[t].Ops[i]
-		a := w.resolve(op.A)
 		switch op.Kind {
 		case oig.OpIntersect:
-			b := w.resolve(op.B)
+			a, b := w.resolveSet(op.A, op.Hint), w.resolveSet(op.B, op.Hint)
 			w.stats.SetOps++
-			out := kernel.Intersect(a, b, w.slots[op.Out][:0])
+			w.countKernelClass(intset.Classify(a, b))
+			out := kernel.IntersectSets(a, b, w.slots[op.Out][:0])
 			w.slots[op.Out] = out
 			if len(out) != op.Want {
 				return false
@@ -336,29 +341,33 @@ func (w *worker) validateOverlaps(t int) bool {
 				return false
 			}
 		case oig.OpIntersectCount:
-			b := w.resolve(op.B)
+			a, b := w.resolveSet(op.A, op.Hint), w.resolveSet(op.B, op.Hint)
 			w.stats.SetOps++
-			if kernel.IntersectCount(a, b) != op.Want {
+			w.countKernelClass(intset.Classify(a, b))
+			if kernel.IntersectCountSets(a, b) != op.Want {
 				return false
 			}
 		case oig.OpIntersectEq:
-			b := w.resolve(op.B)
+			a, b := w.resolveSet(op.A, op.Hint), w.resolveSet(op.B, op.Hint)
 			w.stats.SetOps++
-			out := kernel.Intersect(a, b, w.slots[op.Out][:0])
+			w.countKernelClass(intset.Classify(a, b))
+			out := kernel.IntersectSets(a, b, w.slots[op.Out][:0])
 			w.slots[op.Out] = out
 			if !intset.Equal(out, w.resolve(op.Eq)) {
 				return false
 			}
 		case oig.OpEmptyCheck:
-			if intset.Intersects(a, w.resolve(op.B)) {
+			a, b := w.resolveSet(op.A, op.Hint), w.resolveSet(op.B, op.Hint)
+			w.countKernelClass(intset.Classify(a, b))
+			if kernel.SetsIntersect(a, b) {
 				return false
 			}
 		case oig.OpSubsetCheck:
-			if !intset.IsSubset(a, w.resolve(op.B)) {
+			if !intset.IsSubset(w.resolve(op.A), w.resolve(op.B)) {
 				return false
 			}
 		case oig.OpEqCheck:
-			if !intset.Equal(a, w.resolve(op.Eq)) {
+			if !intset.Equal(w.resolve(op.A), w.resolve(op.Eq)) {
 				return false
 			}
 		}
@@ -371,6 +380,22 @@ func (w *worker) resolve(o oig.Operand) []uint32 {
 		return w.e.store.Hypergraph().EdgeVertices(w.c[o.Pos])
 	}
 	return w.slots[o.Pos]
+}
+
+// resolveSet resolves an operand as an adaptive container: hyperedge
+// operands come from the DAL's container arena (window metadata skipped
+// when the op's hint says the degree class is array-only), slot operands
+// are the worker's plain array buffers.
+//
+//ohmlint:hotpath
+func (w *worker) resolveSet(o oig.Operand, hint oig.ContainerHint) intset.Set {
+	if o.Edge {
+		if hint == oig.HintArray {
+			return intset.ArrayView(w.e.store.Hypergraph().EdgeVertices(w.c[o.Pos]))
+		}
+		return w.e.store.EdgeVertexSet(w.c[o.Pos])
+	}
+	return intset.ArrayView(w.slots[o.Pos])
 }
 
 // validateProfiles recomputes the profile of every distinct vertex of the
@@ -458,42 +483,40 @@ func (w *worker) generate(t int) []uint32 {
 }
 
 // generateDAL intersects the degree-pruned adjacency groups of the
-// already-matched connected hyperedges (Sec. 4.5): only two short sorted
-// lists per constraint, no per-vertex work. Groups are intersected
-// smallest-first so the running accumulator shrinks as fast as possible.
+// already-matched connected hyperedges (Sec. 4.5) with one k-way kernel
+// call: the groups arrive as adaptive containers straight from the DAL's
+// arenas (bitmap windows included, never converted), Kernel.IntersectK
+// orders them rarest-first, and the scan short-circuits the moment any
+// operand is exhausted. The (result, spare) return keeps the worker's
+// ping-pong buffers owned across calls.
 func (w *worker) generateDAL(t int) []uint32 {
 	st := &w.e.plan.Steps[t]
-	lists := w.adjLists[:0]
+	sets := w.adjSets[:0]
 	for _, j := range st.Conn {
-		list := w.e.store.AdjWithDegree(w.c[j], st.Degree)
-		if len(list) == 0 {
+		s := w.e.store.AdjSetWithDegree(w.c[j], st.Degree)
+		if s.Len() == 0 {
+			w.adjSets = sets
 			w.cand[t] = w.cand[t][:0]
 			return w.cand[t]
 		}
-		lists = append(lists, list)
+		sets = append(sets, s)
 	}
-	w.adjLists = lists
-	// Insertion sort by length; |Conn| < pattern size, so this is a few
-	// comparisons.
-	for i := 1; i < len(lists); i++ {
-		x := lists[i]
-		k := i - 1
-		for k >= 0 && len(lists[k]) > len(x) {
-			lists[k+1] = lists[k]
-			k--
-		}
-		lists[k+1] = x
+	w.adjSets = sets
+	w.countKernelClass(intset.ClassifyK(sets))
+	w.cand[t], w.tmp[t] = w.e.kernel.IntersectK(sets, w.cand[t][:0], w.tmp[t][:0])
+	return w.cand[t]
+}
+
+// countKernelClass attributes one set operation to its kernel path.
+func (w *worker) countKernelClass(c intset.PairClass) {
+	switch c {
+	case intset.ClassBitmap:
+		w.stats.KernelBitmap++
+	case intset.ClassMixed:
+		w.stats.KernelMixed++
+	default:
+		w.stats.KernelArray++
 	}
-	acc := append(w.cand[t][:0], lists[0]...)
-	for _, list := range lists[1:] {
-		out := w.e.kernel.Intersect(acc, list, w.tmp[t][:0])
-		w.tmp[t], acc = acc, out
-		if len(acc) == 0 {
-			break
-		}
-	}
-	w.cand[t] = acc
-	return acc
 }
 
 // generateHGMatch reproduces the match-by-hyperedge baseline's candidate

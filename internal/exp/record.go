@@ -34,6 +34,15 @@ type CellRecord struct {
 	Steals    uint64 `json:"steals"`
 	Publishes uint64 `json:"publishes"`
 	IdleSpins uint64 `json:"idle_spins"`
+	// Kernel names the set-kernel family the cell ran on ("scalar", "fast",
+	// "adaptive"); set by the kernel ablation.
+	Kernel string `json:"kernel,omitempty"`
+	// Per-operation container classifications from engine.Stats: how many
+	// set operations ran with both operands array-backed, both
+	// bitmap-windowed, or one of each.
+	KernelArray  uint64 `json:"kernel_array,omitempty"`
+	KernelBitmap uint64 `json:"kernel_bitmap,omitempty"`
+	KernelMixed  uint64 `json:"kernel_mixed,omitempty"`
 }
 
 // Recorder collects CellRecords across experiments; attach one via

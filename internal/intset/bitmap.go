@@ -68,7 +68,19 @@ func (b *Bitmap) IntersectCount(s []uint32) int {
 	return n
 }
 
-// Intersect writes b ∩ s into dst (s sorted ⇒ output sorted).
+// Intersect writes b ∩ s into dst (s sorted ⇒ output sorted) and returns
+// the result.
+//
+// dst follows the Kernel.Intersect reuse contract: it is truncated via
+// dst[:0] and grown with append, so a nil dst allocates a fresh result and a
+// caller-provided scratch buffer is reused up to its capacity (the worker
+// ping-pong buffers pass their previous round's slice). Beyond that
+// contract, dst may alias s itself — Intersect(s, s[:0]) filters in place —
+// because the kernel is a monotone filter: the write cursor can never
+// overtake the read cursor, every written element having already been read.
+// The fast array family does NOT extend the same guarantee (its unrolled
+// merge reads blocks ahead of the write cursor), so in-place calls are only
+// valid on this path.
 func (b *Bitmap) Intersect(s, dst []uint32) []uint32 {
 	dst = dst[:0]
 	for _, x := range s {

@@ -1,0 +1,366 @@
+package intset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// setGens builds sets of deliberately different shapes so every kernel path
+// (array, mixed probe, SWAR window, trimmed hubs, disjoint ranges) is hit.
+var setGens = []struct {
+	name string
+	gen  func(r *rand.Rand) []uint32
+}{
+	{"empty", func(r *rand.Rand) []uint32 { return nil }},
+	{"tiny", func(r *rand.Rand) []uint32 {
+		return mkSet([]uint32{uint32(r.Intn(64)), uint32(r.Intn(64)), uint32(r.Intn(64))})
+	}},
+	{"sparse", func(r *rand.Rand) []uint32 {
+		var v []uint32
+		for i, x := 0, uint32(r.Intn(100)); i < 40; i++ {
+			x += uint32(20 + r.Intn(400))
+			v = append(v, x)
+		}
+		return v
+	}},
+	{"dense", func(r *rand.Rand) []uint32 {
+		base := uint32(r.Intn(1000))
+		var v []uint32
+		for i := 0; i < 200; i++ {
+			if r.Intn(3) != 0 {
+				v = append(v, base+uint32(i))
+			}
+		}
+		return v
+	}},
+	{"hub", func(r *rand.Rand) []uint32 {
+		// A far-away hub vertex plus a dense tail: exercises window trimming.
+		base := uint32(100000 + r.Intn(1000))
+		v := []uint32{uint32(r.Intn(5))}
+		for i := 0; i < 100; i++ {
+			if r.Intn(4) != 0 {
+				v = append(v, base+uint32(i))
+			}
+		}
+		return mkSet(v)
+	}},
+	{"top", func(r *rand.Rand) []uint32 {
+		// Elements at the very top of the uint32 universe: overflow checks.
+		var v []uint32
+		for i := 0; i < 64; i++ {
+			v = append(v, ^uint32(0)-uint32(r.Intn(200)))
+		}
+		return mkSet(v)
+	}},
+}
+
+func randShapedSet(r *rand.Rand) []uint32 {
+	return setGens[r.Intn(len(setGens))].gen(r)
+}
+
+func TestPlanWordsInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 2000; iter++ {
+		arr := randShapedSet(r)
+		base, nw, lo, hi, ok := PlanWords(arr)
+		if !ok {
+			continue
+		}
+		if lo > maxTrim || len(arr)-hi > maxTrim || hi-lo < minWindowLen {
+			t.Fatalf("plan out of bounds: lo=%d hi=%d n=%d", lo, hi, len(arr))
+		}
+		if nw > (hi-lo)/maxWordsPerCore {
+			t.Fatalf("window too sparse: %d words for %d core elements", nw, hi-lo)
+		}
+		loVal, hiVal := uint64(base)<<6, (uint64(base)+uint64(nw))<<6
+		for i, x := range arr {
+			in := uint64(x) >= loVal && uint64(x) < hiVal
+			if in != (i >= lo && i < hi) {
+				t.Fatalf("element %d (idx %d) on wrong side of window [%d,%d) core [%d,%d)",
+					x, i, loVal, hiVal, lo, hi)
+			}
+		}
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 500; iter++ {
+		arr := randShapedSet(r)
+		s := BuildSet(arr)
+		if s.Len() != len(arr) {
+			t.Fatalf("Len=%d want %d", s.Len(), len(arr))
+		}
+		member := make(map[uint32]bool, len(arr))
+		for _, x := range arr {
+			member[x] = true
+			if !s.Contains(x) {
+				t.Fatalf("missing member %d (window=%v)", x, s.HasWindow())
+			}
+		}
+		for i := 0; i < 50; i++ {
+			x := r.Uint32()
+			if s.Contains(x) != member[x] {
+				t.Fatalf("Contains(%d)=%v want %v", x, s.Contains(x), member[x])
+			}
+		}
+	}
+}
+
+func TestSetAdd(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	s := BuildSet(nil)
+	member := map[uint32]bool{}
+	for i := 0; i < 400; i++ {
+		var x uint32
+		if i%3 == 0 {
+			x = uint32(50000 + i) // dense run: should eventually earn a window
+		} else {
+			x = r.Uint32() % 1000000
+		}
+		s.Add(x)
+		member[x] = true
+		s.Add(x) // idempotent
+	}
+	if s.Len() != len(member) {
+		t.Fatalf("Len=%d want %d", s.Len(), len(member))
+	}
+	prev := int64(-1)
+	for _, x := range s.Elems() {
+		if int64(x) <= prev {
+			t.Fatalf("not strictly increasing at %d", x)
+		}
+		prev = int64(x)
+		if !member[x] {
+			t.Fatalf("stray element %d", x)
+		}
+	}
+	for x := range member {
+		if !s.Contains(x) {
+			t.Fatalf("lost element %d", x)
+		}
+	}
+}
+
+// kernels under differential test: every family must agree with the scalar
+// reference on every entry point.
+var allKernels = []Kernel{Scalar, Fast, Adaptive}
+
+func checkPair(t *testing.T, a, b []uint32) {
+	t.Helper()
+	want := refIntersect(a, b)
+	sa, sb := BuildSet(a), BuildSet(b)
+	for _, k := range allKernels {
+		if got := k.IntersectSets(sa, sb, nil); !eq(got, want) {
+			t.Fatalf("%s.IntersectSets(%v,%v)=%v want %v", k.Name, a, b, got, want)
+		}
+		if got := k.IntersectSets(sa, sb, make([]uint32, 0, 4)); !eq(got, want) {
+			t.Fatalf("%s.IntersectSets scratch reuse mismatch", k.Name)
+		}
+		if got := k.IntersectCountSets(sa, sb); got != len(want) {
+			t.Fatalf("%s.IntersectCountSets=%d want %d", k.Name, got, len(want))
+		}
+		if got := k.SetsIntersect(sa, sb); got != (len(want) > 0) {
+			t.Fatalf("%s.SetsIntersect=%v want %v", k.Name, got, len(want) > 0)
+		}
+	}
+	// Views without windows must agree too (engine slot buffers are views).
+	if got := Adaptive.IntersectSets(ArrayView(a), sb, nil); !eq(got, want) {
+		t.Fatalf("adaptive view×set mismatch: %v want %v", got, want)
+	}
+	if got := Classify(sa, sb); got > ClassBitmap {
+		t.Fatalf("bad class %d", got)
+	}
+}
+
+func TestAdaptivePairsDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 3000; iter++ {
+		checkPair(t, randShapedSet(r), randShapedSet(r))
+	}
+}
+
+func TestAdaptivePairsEdgeCases(t *testing.T) {
+	dense := func(base, n uint32) []uint32 {
+		v := make([]uint32, n)
+		for i := range v {
+			v[i] = base + uint32(i)
+		}
+		return v
+	}
+	cases := [][2][]uint32{
+		{nil, nil},
+		{nil, dense(0, 100)},
+		{dense(0, 100), dense(200, 100)},                           // adjacent disjoint windows
+		{dense(0, 100), dense(64, 100)},                            // overlapping windows
+		{dense(0, 100), dense(99, 100)},                            // single shared element
+		{dense(0, 17), dense(16, 17)},                              // minimal windows
+		{mkSet([]uint32{0, ^uint32(0)}), dense(^uint32(0)-80, 64)}, // top of universe
+		{append([]uint32{3}, dense(70000, 60)...), append([]uint32{3}, dense(90000, 60)...)}, // shared hub outlier only
+	}
+	for _, c := range cases {
+		checkPair(t, c[0], c[1])
+		checkPair(t, c[1], c[0])
+	}
+}
+
+func refIntersectK(sets [][]uint32) []uint32 {
+	if len(sets) == 0 {
+		return nil
+	}
+	acc := append([]uint32(nil), sets[0]...)
+	for _, s := range sets[1:] {
+		acc = refIntersect(acc, s)
+	}
+	return acc
+}
+
+func TestIntersectKDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 1500; iter++ {
+		k := 1 + r.Intn(6)
+		arrs := make([][]uint32, k)
+		for i := range arrs {
+			arrs[i] = randShapedSet(r)
+		}
+		want := refIntersectK(arrs)
+		for _, kn := range allKernels {
+			sets := make([]Set, k)
+			for i := range arrs {
+				sets[i] = BuildSet(arrs[i])
+			}
+			got, _ := kn.IntersectK(sets, nil, nil)
+			if !eq(got, want) {
+				t.Fatalf("%s.IntersectK(%v)=%v want %v", kn.Name, arrs, got, want)
+			}
+			for i := range arrs {
+				sets[i] = BuildSet(arrs[i])
+			}
+			n, _, _ := kn.IntersectCountK(sets, nil, nil)
+			if n != len(want) {
+				t.Fatalf("%s.IntersectCountK=%d want %d", kn.Name, n, len(want))
+			}
+		}
+	}
+}
+
+func TestIntersectKBufferReuse(t *testing.T) {
+	// The (result, spare) return must let a caller ping-pong the same two
+	// backing buffers across calls without growth once warm.
+	r := rand.New(rand.NewSource(29))
+	dst, tmp := make([]uint32, 0, 4096), make([]uint32, 0, 4096)
+	for iter := 0; iter < 200; iter++ {
+		k := 2 + r.Intn(4)
+		arrs := make([][]uint32, k)
+		sets := make([]Set, k)
+		for i := range arrs {
+			arrs[i] = randShapedSet(r)
+			sets[i] = BuildSet(arrs[i])
+		}
+		want := refIntersectK(arrs)
+		var got []uint32
+		got, tmp = Adaptive.IntersectK(sets, dst, tmp)
+		if !eq(got, want) {
+			t.Fatalf("reused-buffer IntersectK mismatch: %v want %v", got, want)
+		}
+		dst = got
+	}
+}
+
+// TestBitmapIntersectAliasing pins the documented dst contract of
+// Bitmap.Intersect: nil dst allocates, scratch is reused via dst[:0], and —
+// unlike the fast array family — dst may alias s for in-place filtering.
+func TestBitmapIntersectAliasing(t *testing.T) {
+	b := NewBitmap(1 << 12)
+	b.SetAll([]uint32{2, 3, 5, 7, 11, 13, 512, 1024})
+	s := []uint32{1, 2, 3, 4, 5, 6, 7, 512, 600, 1024, 4000}
+	want := refIntersect(b.ToSlice(nil), s)
+
+	if got := b.Intersect(s, nil); !eq(got, want) {
+		t.Fatalf("nil dst: got %v want %v", got, want)
+	}
+	scratch := make([]uint32, 0, 16)
+	got := b.Intersect(s, scratch)
+	if !eq(got, want) {
+		t.Fatalf("scratch dst: got %v want %v", got, want)
+	}
+	if cap(scratch) > 0 && len(got) <= cap(scratch) && &got[0] != &scratch[:1][0] {
+		t.Fatalf("scratch dst was not reused")
+	}
+	// In-place: dst aliases s.
+	inPlace := append([]uint32(nil), s...)
+	if got := b.Intersect(inPlace, inPlace[:0]); !eq(got, want) {
+		t.Fatalf("in-place dst: got %v want %v", got, want)
+	}
+}
+
+// FuzzIntersectKernels differentially fuzzes every kernel family — array,
+// bitmap-window, mixed, and k-way paths — against the scalar reference.
+// Inputs are raw bytes decoded into up to four sets so the fuzzer controls
+// density, overlap, and trim shapes directly.
+func FuzzIntersectKernels(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(2), false)
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 255}, uint8(3), true)
+	f.Add([]byte{}, uint8(4), false)
+	f.Fuzz(func(t *testing.T, data []byte, k uint8, dense bool) {
+		nsets := 2 + int(k%3)
+		arrs := make([][]uint32, nsets)
+		// Decode: each byte extends the set chosen by its low bits; dense
+		// mode keeps values packed so bitmap windows form.
+		cur := make([]uint32, nsets)
+		for i, bt := range data {
+			j := i % nsets
+			step := uint32(bt)
+			if dense {
+				step = uint32(bt%4) + 1
+			}
+			cur[j] += step
+			arrs[j] = append(arrs[j], cur[j])
+		}
+		for j := range arrs {
+			arrs[j] = mkSet(arrs[j])
+		}
+
+		// Pairwise: every family, every entry point, against the reference.
+		a, b := arrs[0], arrs[1]
+		want := refIntersect(a, b)
+		sa, sb := BuildSet(a), BuildSet(b)
+		for _, kn := range allKernels {
+			if got := kn.IntersectSets(sa, sb, nil); !eq(got, want) {
+				t.Fatalf("%s.IntersectSets mismatch: %v want %v", kn.Name, got, want)
+			}
+			if got := kn.IntersectCountSets(sa, sb); got != len(want) {
+				t.Fatalf("%s.IntersectCountSets=%d want %d", kn.Name, got, len(want))
+			}
+			if got := kn.SetsIntersect(sa, sb); got != (len(want) > 0) {
+				t.Fatalf("%s.SetsIntersect=%v want %v", kn.Name, got, len(want) > 0)
+			}
+			if got := kn.Intersect(a, b, nil); !eq(got, want) {
+				t.Fatalf("%s.Intersect mismatch: %v want %v", kn.Name, got, want)
+			}
+			if got := kn.IntersectCount(a, b); got != len(want) {
+				t.Fatalf("%s.IntersectCount=%d want %d", kn.Name, got, len(want))
+			}
+		}
+
+		// K-way across all decoded sets.
+		wantK := refIntersectK(arrs)
+		for _, kn := range allKernels {
+			sets := make([]Set, nsets)
+			for i := range arrs {
+				sets[i] = BuildSet(arrs[i])
+			}
+			got, _ := kn.IntersectK(sets, nil, nil)
+			if !eq(got, wantK) {
+				t.Fatalf("%s.IntersectK mismatch: %v want %v", kn.Name, got, wantK)
+			}
+			for i := range arrs {
+				sets[i] = BuildSet(arrs[i])
+			}
+			n, _, _ := kn.IntersectCountK(sets, nil, nil)
+			if n != len(wantK) {
+				t.Fatalf("%s.IntersectCountK=%d want %d", kn.Name, n, len(wantK))
+			}
+		}
+	})
+}

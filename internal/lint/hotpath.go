@@ -18,7 +18,11 @@ import (
 //     allowed only when its base is an explicit length-zero reslice
 //     (buf[:0], the scratch-reuse idiom) or when its result is assigned
 //     back to the exact expression it appends to (amortized growth of a
-//     persistent scratch buffer).
+//     persistent scratch buffer),
+//   - adaptive-container construction: intset.BuildSet / intset.NewBitmap
+//     calls and Set.Add / Bitmap mutation-by-construction — hot code must
+//     receive prebuilt containers (the DAL's window arenas) or wrap
+//     existing storage with the zero-copy ArrayView/View constructors.
 //
 // Construction-time allocation (newWorker and friends) is fine: those
 // functions are not reachable from the marked roots.
@@ -118,6 +122,8 @@ func checkHotFunc(pass *Pass, fn, root *ast.FuncDecl) {
 						sortClosure[fl] = true
 					}
 				}
+			case isContainerBuild(pkg, n):
+				pass.Reportf(n.Pos(), "adaptive-container construction allocates in hot path %s; build containers once (DAL window arenas) and pass zero-copy views (intset.ArrayView/View)", where)
 			}
 		case *ast.FuncLit:
 			if !sortClosure[n] {
@@ -155,6 +161,65 @@ func isBuiltinCall(pkg *Package, call *ast.CallExpr, name string) bool {
 		return isBuiltin
 	}
 	return true
+}
+
+// isContainerBuild reports whether call constructs or grows an adaptive
+// set container: the allocating intset constructors (BuildSet copies and
+// plans a window; NewBitmap allocates a word array) called through the
+// intset package or by name in intset itself, and the sorted-insert
+// Set.Add / window-rebuilding mutators, identified by method name on a
+// receiver whose named type is Set or Bitmap. The zero-copy wrappers
+// (ArrayView, View) are deliberately not flagged — they are the idiom hot
+// code should use.
+func isContainerBuild(pkg *Package, call *ast.CallExpr) bool {
+	if isPkgCall(pkg, call, "intset", "BuildSet") || isPkgCall(pkg, call, "intset", "NewBitmap") {
+		return true
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		// Unqualified call inside the defining package (or a test double).
+		if fun.Name != "BuildSet" && fun.Name != "NewBitmap" {
+			return false
+		}
+		if pkg.Info != nil {
+			_, isFunc := pkg.Info.Uses[fun].(*types.Func)
+			return isFunc
+		}
+		return true
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "Add" {
+			return false
+		}
+		return receiverTypeNameIs(pkg, fun, "Set", "Bitmap")
+	}
+	return false
+}
+
+// receiverTypeNameIs reports whether sel is a method selection whose
+// receiver's named type (after stripping one pointer level) matches one of
+// names. Without type info it conservatively reports false.
+func receiverTypeNameIs(pkg *Package, sel *ast.SelectorExpr, names ...string) bool {
+	if pkg.Info == nil {
+		return false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for _, n := range names {
+		if named.Obj().Name() == n {
+			return true
+		}
+	}
+	return false
 }
 
 // isPkgCall reports whether call is pkgName.funcName on an imported

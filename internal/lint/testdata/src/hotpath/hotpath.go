@@ -7,7 +7,23 @@ import "sort"
 type w struct {
 	buf []uint32
 	tmp []uint32
+	set Set
 }
+
+// Set and BuildSet mirror the intset container API so the fixture
+// exercises the container-construction checks without importing the real
+// package.
+type Set struct{ arr []uint32 }
+
+func BuildSet(arr []uint32) Set {
+	out := make([]uint32, len(arr))
+	copy(out, arr)
+	return Set{arr: out}
+}
+
+func (s *Set) Add(x uint32) { s.arr = append(s.arr, x) }
+
+func ArrayView(arr []uint32) Set { return Set{arr: arr} }
 
 //ohmlint:hotpath
 func (x *w) run(n int) {
@@ -24,9 +40,12 @@ func (x *w) step(n int) {
 	x.buf = append(x.buf, 1)     // ok: growth amortized into the same buffer
 	x.tmp = append(x.buf[:0], 9) // ok: reset-reslice base
 	y := append(x.tmp, 3)
+	c := BuildSet(x.buf)  // container construction copies + plans a window
+	x.set.Add(7)          // sorted insert may rebuild the window
+	v := ArrayView(x.buf) // ok: zero-copy view over existing storage
 	//ohmlint:allow hotpath-alloc -- demonstrating suppression
 	z := make([]uint32, 1)
-	_, _, _, _, _, _ = bad, p, m, s, y, z
+	_, _, _, _, _, _, _, _ = bad, p, m, s, y, z, c, v
 	f()
 }
 

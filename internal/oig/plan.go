@@ -83,6 +83,37 @@ func (o Operand) String() string {
 	return fmt.Sprintf("s%d", o.Pos)
 }
 
+// ContainerHint advises the engine which set representation the operands of
+// an operation are expected to arrive in. Hints are chosen after compilation
+// from DAL density statistics (engine.CompilePlan), are purely
+// performance-directing — every hint value computes the same result — and
+// are therefore excluded from the plan fingerprint: snapshots and cluster
+// leases stay exchangeable between builds with different hint policies.
+type ContainerHint uint8
+
+const (
+	// HintAuto lets the engine pick per call from the operands' actual
+	// representations (the adaptive default).
+	HintAuto ContainerHint = iota
+	// HintArray asserts the operands are array-only, so the engine skips the
+	// window-metadata lookup entirely.
+	HintArray
+	// HintBitmap asserts at least one hyperedge operand is dense enough to
+	// be bitmap-backed; the engine resolves edge operands through the DAL's
+	// container arena. Requires an Edge operand (slots never carry windows),
+	// enforced by VerifyProgram.
+	HintBitmap
+)
+
+var hintNames = [...]string{"auto", "array", "bitmap"}
+
+func (h ContainerHint) String() string {
+	if int(h) < len(hintNames) {
+		return hintNames[h]
+	}
+	return fmt.Sprintf("hint(%d)", uint8(h))
+}
+
 // Op is one validation operation of the execution plan.
 type Op struct {
 	Kind OpKind
@@ -95,6 +126,10 @@ type Op struct {
 	// LabelWant is the expected label histogram of the overlap, set for
 	// OpIntersect on labeled patterns.
 	LabelWant []sig.LabelCount
+	// Hint is the container expectation for this op's operands (perf-only;
+	// see ContainerHint). The compiler emits HintAuto; engine.CompilePlan
+	// refines it from DAL degree statistics.
+	Hint ContainerHint
 }
 
 // Step drives the matching of one pattern hyperedge: candidate generation
@@ -448,18 +483,22 @@ func (p *Plan) String() string {
 		for _, op := range st.Ops {
 			switch op.Kind {
 			case OpIntersect:
-				fmt.Fprintf(&b, "  s%d ← %s ∩ %s, |·|=%d  (mask %b)\n", op.Out, op.A, op.B, op.Want, op.Mask)
+				fmt.Fprintf(&b, "  s%d ← %s ∩ %s, |·|=%d  (mask %b)", op.Out, op.A, op.B, op.Want, op.Mask)
 			case OpIntersectEq:
-				fmt.Fprintf(&b, "  s%d ← %s ∩ %s, == %s  (mask %b)\n", op.Out, op.A, op.B, op.Eq, op.Mask)
+				fmt.Fprintf(&b, "  s%d ← %s ∩ %s, == %s  (mask %b)", op.Out, op.A, op.B, op.Eq, op.Mask)
 			case OpEmptyCheck:
-				fmt.Fprintf(&b, "  %s ∩ %s == ∅  (mask %b)\n", op.A, op.B, op.Mask)
+				fmt.Fprintf(&b, "  %s ∩ %s == ∅  (mask %b)", op.A, op.B, op.Mask)
 			case OpSubsetCheck:
-				fmt.Fprintf(&b, "  %s ⊆ %s  (mask %b)\n", op.A, op.B, op.Mask)
+				fmt.Fprintf(&b, "  %s ⊆ %s  (mask %b)", op.A, op.B, op.Mask)
 			case OpEqCheck:
-				fmt.Fprintf(&b, "  %s == %s  (mask %b)\n", op.A, op.Eq, op.Mask)
+				fmt.Fprintf(&b, "  %s == %s  (mask %b)", op.A, op.Eq, op.Mask)
 			case OpIntersectCount:
-				fmt.Fprintf(&b, "  |%s ∩ %s| = %d  (mask %b)\n", op.A, op.B, op.Want, op.Mask)
+				fmt.Fprintf(&b, "  |%s ∩ %s| = %d  (mask %b)", op.A, op.B, op.Want, op.Mask)
 			}
+			if op.Hint != HintAuto {
+				fmt.Fprintf(&b, "  [%s]", op.Hint)
+			}
+			b.WriteByte('\n')
 		}
 	}
 	return b.String()

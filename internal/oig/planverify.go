@@ -19,8 +19,12 @@ var ErrInvalidPlan = errors.New("oig: invalid plan")
 // reordered pattern (edges, vertex labels, hyperedge labels), the matching
 // order, the compile mode, the slot count, and each step's generation
 // constraints and validation operations. Derived fields that are recomputed
-// from these (Sig, LabelSig, ProfileCounts, Graph) and pure diagnostics
-// (CompileTime) are excluded. Two plans with equal fingerprints direct the
+// from these (Sig, LabelSig, ProfileCounts, Graph), pure diagnostics
+// (CompileTime), and the per-op container hints (Op.Hint — performance
+// advice the engine derives from DAL density statistics; every hint value
+// computes the same result, and hashing it would make snapshots and cluster
+// leases unresumable between builds with different hint policies or store
+// densities) are excluded. Two plans with equal fingerprints direct the
 // engine to the same computation; a snapshot or lease carrying a stale
 // fingerprint is rejected before any candidate is counted.
 func Fingerprint(p *Plan) uint64 {
@@ -209,6 +213,23 @@ func VerifyProgram(p *Plan) error {
 		}
 	}
 
+	// Container hints: range-valid, and a bitmap hint must be satisfiable —
+	// only Edge operands resolve through the DAL's container arena; slot
+	// buffers are plain worker arrays, so a bitmap hint on a slots-only op
+	// promises a representation no operand can have.
+	for t := range p.Steps {
+		for i, op := range p.Steps[t].Ops {
+			if op.Hint > HintBitmap {
+				return fmt.Errorf("%w: step %d op %d (%s): unknown container hint %d",
+					ErrInvalidPlan, t, i, op.Kind, op.Hint)
+			}
+			if op.Hint == HintBitmap && !opReadsEdge(op) {
+				return fmt.Errorf("%w: step %d op %d (%s): bitmap container hint on an op with no hyperedge operand (slots are array-only)",
+					ErrInvalidPlan, t, i, op.Kind)
+			}
+		}
+	}
+
 	if p.FP != 0 {
 		if got := Fingerprint(p); got != p.FP {
 			return fmt.Errorf("%w: fingerprint %#x does not match compiled fingerprint %#x: a field that affects counting was modified after compilation",
@@ -216,6 +237,27 @@ func VerifyProgram(p *Plan) error {
 		}
 	}
 	return nil
+}
+
+// opReadsEdge reports whether any operand op reads is a hyperedge vertex set
+// (as opposed to a slot buffer).
+func opReadsEdge(op Op) bool {
+	if op.A.Edge {
+		return true
+	}
+	switch op.Kind {
+	case OpIntersect, OpIntersectEq, OpEmptyCheck, OpSubsetCheck, OpIntersectCount:
+		if op.B.Edge {
+			return true
+		}
+	}
+	switch op.Kind {
+	case OpIntersectEq, OpEqCheck:
+		if op.Eq.Edge {
+			return true
+		}
+	}
+	return false
 }
 
 // slotRef names one slot-read operand of an op for diagnostics.

@@ -196,9 +196,17 @@ func WithVariant(name string) Option {
 	}
 }
 
-// WithScalarKernel disables the fast set kernels (the paper's no-SIMD
-// ablation).
+// WithScalarKernel disables the adaptive and galloping set kernels (the
+// paper's no-SIMD ablation). The default is the adaptive kernel family,
+// which picks per operation among word-parallel bitmap windows, window
+// probes, and galloping from the density of the operands' containers;
+// WithFastKernel pins the static gallop family instead.
 func WithScalarKernel() Option { return func(c *config) { c.Kernel = intset.Scalar } }
+
+// WithFastKernel pins the static galloping kernel family, bypassing the
+// adaptive container dispatch — the mid ablation point between scalar and
+// adaptive (cf. the kern experiment in cmd/ohmbench).
+func WithFastKernel() Option { return func(c *config) { c.Kernel = intset.Fast } }
 
 // WithLimit stops mining once at least n ordered embeddings were found.
 func WithLimit(n uint64) Option { return func(c *config) { c.Limit = n } }
