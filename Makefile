@@ -24,16 +24,16 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable engine benchmark cells (scheduler scaling + set-kernel
-# ablations) — tracked across PRs in BENCH_engine.json.
+# Machine-readable engine benchmark cells (scheduler scaling + set-kernel +
+# symmetry-breaking ablations) — tracked across PRs in BENCH_engine.json.
 bench-json:
-	$(GO) run ./cmd/ohmbench -exp sched,kern -json BENCH_engine.json
+	$(GO) run ./cmd/ohmbench -exp sched,kern,sym -json BENCH_engine.json
 
-# Fast correctness gate over the kernel ablation: runs scalar, fast, and
-# adaptive kernels on the reduced-size density grid and fails on any
-# ordered-count disagreement between the kernel families.
+# Fast correctness gate over the kernel and symmetry-breaking ablations:
+# runs the reduced-size grids and fails on any count disagreement between
+# the kernel families or between restricted and unrestricted plans.
 bench-smoke:
-	$(GO) run ./cmd/ohmbench -exp kern -quick
+	$(GO) run ./cmd/ohmbench -exp kern,sym -quick
 
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/hypergraph

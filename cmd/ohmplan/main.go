@@ -17,12 +17,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ohminer/internal/cliio"
 	"ohminer/internal/oig"
 	"ohminer/internal/pattern"
 	"ohminer/internal/venn"
 )
+
+// mustKey returns the canonical key of a pattern known to canonicalize.
+func mustKey(p *pattern.Pattern) string {
+	k, _ := pattern.CanonicalKey(p)
+	return k
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -33,9 +40,10 @@ func main() {
 
 func run() error {
 	var (
-		lit    = flag.String("pattern", "", "pattern literal, e.g. \"0 1 2; 2 3 4\"")
-		mode   = flag.String("mode", "merged", "plan mode: merged (full OHMiner) or simple (IEP only)")
-		verify = flag.Bool("verify", false, "run only the IR program verifier and print the plan fingerprint")
+		lit        = flag.String("pattern", "", "pattern literal, e.g. \"0 1 2; 2 3 4\"")
+		mode       = flag.String("mode", "merged", "plan mode: merged (full OHMiner) or simple (IEP only)")
+		verify     = flag.Bool("verify", false, "run only the IR program verifier and print the plan fingerprint")
+		norestrict = flag.Bool("norestrict", false, "compile without symmetry-breaking ordering restrictions")
 	)
 	flag.Parse()
 	if *lit == "" {
@@ -58,8 +66,13 @@ func run() error {
 
 	out.Printf("pattern: %s  (%d hyperedges, %d vertices, %d automorphisms)\n",
 		p, p.NumEdges(), p.NumVertices(), p.Automorphisms())
+	if cp, ok := pattern.Canonical(p); ok {
+		out.Printf("canonical form: %s  (key %x)\n", cp, mustKey(p))
+	} else {
+		out.Printf("canonical form: (skipped: more than %d hyperedges)\n", pattern.CanonMaxEdges)
+	}
 
-	plan, err := oig.Compile(p, m)
+	plan, err := oig.CompileWith(p, m, oig.CompileOptions{NoRestrictions: *norestrict})
 	if err != nil {
 		return err
 	}
@@ -73,6 +86,20 @@ func run() error {
 		return out.Close()
 	}
 	out.Printf("matching order: %v (original indices)\n", plan.Order)
+	switch {
+	case plan.Restricted:
+		var rs []string
+		for t := range plan.Steps {
+			for _, j := range plan.Steps[t].Restrict {
+				rs = append(rs, fmt.Sprintf("c%d<c%d", j, t))
+			}
+		}
+		out.Println("symmetry restrictions:", strings.Join(rs, " "))
+	case *norestrict:
+		out.Println("symmetry restrictions: disabled (-norestrict)")
+	default:
+		out.Println("symmetry restrictions: none (pattern is asymmetric)")
+	}
 
 	out.Println("\nOverlap Intersection Graph (reordered pattern):")
 	out.Print(plan.Graph)

@@ -127,10 +127,13 @@ func TestChaosTornCheckpointRejected(t *testing.T) {
 // crashed round is lost, never double-counted.
 func TestChaosPanicThenResume(t *testing.T) {
 	store, p, want := slowWorkload(t)
+	// Fault points live in callback space: the symmetry-broken plan fires
+	// OnEmbedding once per orbit, so the run makes want/|Aut| calls total.
+	calls := want / uint64(p.Automorphisms())
 	for _, split := range []int{0, -1} {
 		for seed := uint64(1); seed <= 2; seed++ {
 			// Late enough that checkpoints exist, early enough to lose work.
-			panicAt := 1000 + faultinject.Derive(seed, "panic", want-2000)
+			panicAt := 500 + faultinject.Derive(seed, "panic", calls-1000)
 			t.Run(fmt.Sprintf("split=%d/panicAt=%d", split, panicAt), func(t *testing.T) {
 				path := filepath.Join(t.TempDir(), "run.ckpt")
 				opts := chaosOpts(split, &checkpoint.FileSink{Path: path})

@@ -99,6 +99,14 @@ func ValidateSnapshot(store *dal.Store, plan *oig.Plan, snap *checkpoint.Snapsho
 	if got, want := snap.GraphFP, store.Hypergraph().Fingerprint(); got != want {
 		return fmt.Errorf("engine: snapshot was written for a different data hypergraph (fingerprint %#x, want %#x)", got, want)
 	}
+	if plan.Restricted {
+		// Restricted plans count whole orbits: a valid snapshot's ordered
+		// total is always a multiple of |Aut|. A remainder means the counter
+		// was corrupted or written in a different counting space.
+		if aut := uint64(plan.Pattern.Automorphisms()); snap.Ordered%aut != 0 {
+			return fmt.Errorf("engine: snapshot Ordered=%d is not a multiple of the pattern's %d automorphisms; a symmetry-broken run counts whole orbits, so the counter is corrupt or from an incompatible counting space", snap.Ordered, aut)
+		}
+	}
 	m := plan.Pattern.NumEdges()
 	ne := uint32(store.Hypergraph().NumEdges())
 	for i := range snap.Frontier {

@@ -126,13 +126,18 @@ type Options struct {
 	// Instrument enables the Stats counters and phase timers used by the
 	// Fig. 3 reproduction (adds measurable overhead).
 	Instrument bool
-	// Limit stops the exploration once at least this many ordered
-	// embeddings were found (0 = unlimited). The final count may slightly
-	// exceed Limit because workers stop at the next check.
+	// Limit stops the exploration once at least this many embeddings were
+	// enumerated (0 = unlimited): ordered tuples on an unrestricted plan,
+	// one canonical tuple per unordered embedding on a symmetry-broken one.
+	// The final count may slightly exceed Limit because workers stop at the
+	// next check.
 	Limit uint64
-	// OnEmbedding, when set, receives every embedding (hyperedge IDs in
-	// matching order). Calls are serialized by the engine; the slice is
-	// reused and must be copied to retain.
+	// OnEmbedding, when set, receives every enumerated embedding (hyperedge
+	// IDs in matching order). On a symmetry-broken plan the engine
+	// enumerates exactly one canonical tuple per unordered embedding, so
+	// the callback fires once per unique embedding; compile with
+	// NoSymmetryBreak to observe every ordered tuple. Calls are serialized
+	// by the engine; the slice is reused and must be copied to retain.
 	OnEmbedding func([]uint32)
 	// Deadline aborts the exploration after roughly this duration (0 =
 	// none); a run the deadline actually cut short is marked Truncated and
@@ -142,8 +147,17 @@ type Options struct {
 	// UniqueOnly filters OnEmbedding to one canonical tuple per unordered
 	// embedding: the callback fires only when the tuple is the
 	// lexicographically smallest among its automorphic reorderings.
-	// Ordered/Unique counts are unaffected.
+	// Ordered/Unique counts are unaffected. Symmetry-broken plans already
+	// enumerate exactly that canonical tuple, so the filter is a no-op (and
+	// skipped) for them.
 	UniqueOnly bool
+	// NoSymmetryBreak compiles the plan without symmetry-breaking
+	// restrictions, so every ordered tuple is enumerated — |Aut(P)| per
+	// unordered embedding. The ablation baseline of the sym experiment;
+	// also what OnEmbedding consumers that need all orderings should set.
+	// Only consulted by the plan-compiling entry points (Mine/MineContext/
+	// CompilePlan); MineWithPlan follows the plan it is given.
+	NoSymmetryBreak bool
 	// DataAwareOrder derives the matching order from data-hypergraph
 	// selectivity (fewest degree-matching data hyperedges first), the
 	// ordering strategy the paper adopts from HGMatch (Sec. 4.3.2), instead
@@ -256,11 +270,27 @@ func (s *Stats) Add(o Stats) {
 // Result reports one mining run.
 type Result struct {
 	// Ordered counts embeddings as ordered hyperedge tuples following the
-	// matching order; every unordered embedding is found once per pattern
-	// automorphism.
+	// matching order; every unordered embedding corresponds to exactly
+	// Automorphisms ordered tuples. An unrestricted plan enumerates them
+	// all; a symmetry-broken plan enumerates one canonical tuple per orbit
+	// and reports Ordered = Unique × Automorphisms — identical for complete
+	// runs, so the two plan families are count-compatible.
 	Ordered uint64
-	// Unique is Ordered divided by the pattern's automorphism count.
+	// Unique counts unordered embeddings. A symmetry-broken plan counts
+	// them directly (exact even when truncated); an unrestricted plan
+	// derives Unique = Ordered / Automorphisms, exact only for complete
+	// runs — a truncated run that stopped mid-orbit leaves the leftover
+	// ordered tuples in UniqueRemainder instead of silently rounding.
 	Unique uint64
+	// UniqueRemainder is Ordered mod Automorphisms on an unrestricted plan:
+	// non-zero only when a limit/deadline/cancellation stopped the run in
+	// the middle of an automorphism orbit, in which case Unique undercounts
+	// by the partial orbit. Always zero on symmetry-broken plans and on
+	// complete runs.
+	UniqueRemainder uint64
+	// Restricted reports whether the plan carried symmetry-breaking
+	// restrictions (see oig.Plan.Restricted).
+	Restricted bool
 	// Automorphisms is the pattern's hyperedge automorphism count.
 	Automorphisms int
 	// Elapsed is the wall-clock mining time (excluding plan compilation).
@@ -362,16 +392,40 @@ func mineResumable(ctx context.Context, store *dal.Store, plan *oig.Plan, opts O
 		return Result{}, err
 	}
 
+	if plan.Restricted && opts.PositionFilter != nil {
+		// A restriction can reject the one tuple of an orbit the filter
+		// would have accepted (anchored counting binds specific edges to
+		// specific positions), silently undercounting. The plan-compiling
+		// entry points disable restrictions when a filter is set; reject
+		// the combination here for callers bringing their own plan.
+		return Result{}, errors.New("engine: PositionFilter requires a plan compiled without symmetry-breaking restrictions (oig.CompileOptions.NoRestrictions)")
+	}
+
 	e := &shared{store: store, plan: plan, opts: opts, kernel: kernel}
 	e.splitDepth, e.splitThreshold = splitParams(plan, opts)
 	e.saveOnStop = opts.Checkpoint != nil
-	if opts.UniqueOnly && opts.OnEmbedding != nil {
+	if opts.UniqueOnly && opts.OnEmbedding != nil && !plan.Restricted {
+		// Restricted plans enumerate only canonical tuples; the filter
+		// would accept every one of them, so it is skipped.
 		e.autoPerms = plan.Pattern.AutomorphismPerms()[1:]
+	}
+
+	// autFactor maps between the enumerated-tuple space the workers count in
+	// and the ordered-embedding space snapshots and results report: a
+	// symmetry-broken plan enumerates one canonical tuple per orbit of
+	// |Aut| ordered embeddings, an unrestricted plan enumerates each ordered
+	// embedding itself.
+	autFactor := uint64(1)
+	if plan.Restricted {
+		autFactor = uint64(plan.Pattern.Automorphisms())
 	}
 
 	// Resume state: the snapshot's counters become the base the new
 	// exploration accumulates on, and its frontier replaces the first-level
-	// candidates as the seed work.
+	// candidates as the seed work. Snapshot.Ordered is stored in ordered
+	// space (see buildSnapshot's call site); divide it back to the
+	// enumerated space the workers accumulate in. ValidateSnapshot already
+	// proved divisibility for restricted plans.
 	var (
 		baseOrdered uint64
 		baseStats   Stats
@@ -379,7 +433,7 @@ func mineResumable(ctx context.Context, store *dal.Store, plan *oig.Plan, opts O
 		seq         uint64
 	)
 	if snap != nil {
-		baseOrdered = snap.Ordered
+		baseOrdered = snap.Ordered / autFactor
 		baseStats = unpackStats(snap.Stats)
 		seq = snap.Seq
 		tasks = make([]task, len(snap.Frontier))
@@ -391,14 +445,35 @@ func mineResumable(ctx context.Context, store *dal.Store, plan *oig.Plan, opts O
 
 	start := time.Now()
 	baseResult := func() Result {
-		res := Result{
+		// Ordered temporarily holds the raw enumerated-tuple count;
+		// finalizeCounts converts it to the reported Ordered/Unique pair.
+		return Result{
 			Automorphisms: plan.Pattern.Automorphisms(),
 			Elapsed:       time.Since(start),
 			Plan:          plan,
 			Ordered:       baseOrdered,
 			Stats:         baseStats,
 		}
-		res.Unique = res.Ordered / uint64(res.Automorphisms)
+	}
+	// finalizeCounts maps the enumerated-tuple count accumulated in
+	// res.Ordered to the Result contract. A symmetry-broken plan enumerated
+	// one canonical tuple per unordered embedding: Unique is that count
+	// directly (exact even when truncated) and Ordered is reconstructed as
+	// Unique × Automorphisms — for complete runs exactly what an
+	// unrestricted enumeration would have counted. An unrestricted plan
+	// enumerated ordered tuples: Unique is the floor division and any
+	// mid-orbit remainder of a truncated run is surfaced honestly in
+	// UniqueRemainder instead of vanishing.
+	finalizeCounts := func(res Result) Result {
+		aut := uint64(res.Automorphisms)
+		res.Restricted = plan.Restricted
+		if plan.Restricted {
+			res.Unique = res.Ordered
+			res.Ordered = res.Unique * aut
+		} else {
+			res.Unique = res.Ordered / aut
+			res.UniqueRemainder = res.Ordered % aut
+		}
 		return res
 	}
 
@@ -433,11 +508,11 @@ func mineResumable(ctx context.Context, store *dal.Store, plan *oig.Plan, opts O
 	if snap == nil {
 		first = e.firstCandidates()
 		if len(first) == 0 {
-			return baseResult(), ctx.Err()
+			return finalizeCounts(baseResult()), ctx.Err()
 		}
 	} else if len(tasks) == 0 {
 		// The snapshot captured a fully drained run: nothing left to mine.
-		return baseResult(), ctx.Err()
+		return finalizeCounts(baseResult()), ctx.Err()
 	}
 
 	var found atomic.Uint64
@@ -513,7 +588,11 @@ func mineResumable(ctx context.Context, store *dal.Store, plan *oig.Plan, opts O
 			st.CheckpointBytes += ckptBytes
 			st.CheckpointErrors += ckptErrors
 			seq++
-			if n, err := opts.Checkpoint.WriteSnapshot(e.buildSnapshot(seq, frontier, ordered, st)); err != nil {
+			// Snapshots carry Ordered in ordered-embedding space (the
+			// documented contract), so the enumerated total is scaled by
+			// |Aut| for restricted plans — exact, since every counted
+			// canonical tuple stands for a whole orbit.
+			if n, err := opts.Checkpoint.WriteSnapshot(e.buildSnapshot(seq, frontier, ordered*autFactor, st)); err != nil {
 				// A failed write leaves the previous snapshot intact (sinks
 				// are atomic); losing a checkpoint must not kill the run.
 				ckptErrors++
@@ -538,7 +617,7 @@ func mineResumable(ctx context.Context, store *dal.Store, plan *oig.Plan, opts O
 	res.Stats.CheckpointBytes += ckptBytes
 	res.Stats.CheckpointErrors += ckptErrors
 	res.Truncated = e.abandoned.Load() || truncated
-	res.Unique = res.Ordered / uint64(res.Automorphisms)
+	res = finalizeCounts(res)
 	res.Elapsed = time.Since(start)
 	e.panicMu.Lock()
 	panicErr := e.panicErr

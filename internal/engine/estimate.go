@@ -41,7 +41,10 @@ func EstimateCount(store *dal.Store, p *pattern.Pattern, fraction float64, seed 
 	if opts.Val == ValOverlapSimple {
 		mode = oig.ModeSimple
 	}
-	plan, err := oig.Compile(p, mode)
+	// The estimator's per-root scaling and variance math are defined over
+	// ordered tuples, so the plan is always compiled without
+	// symmetry-breaking restrictions.
+	plan, err := oig.CompileWith(p, mode, oig.CompileOptions{NoRestrictions: true})
 	if err != nil {
 		return Estimate{}, err
 	}

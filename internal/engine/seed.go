@@ -30,15 +30,15 @@ func CompilePlan(store *dal.Store, p *pattern.Pattern, opts Options) (*oig.Plan,
 	if opts.Val == ValOverlapSimple {
 		mode = oig.ModeSimple
 	}
-	var (
-		plan *oig.Plan
-		err  error
-	)
-	if opts.DataAwareOrder {
-		plan, err = oig.CompileOrdered(p, mode, dataAwareOrder(store, p))
-	} else {
-		plan, err = oig.Compile(p, mode)
+	co := oig.CompileOptions{
+		// Anchored counting (PositionFilter) must see every ordered tuple:
+		// a restriction can kill the one orbit member the filter accepts.
+		NoRestrictions: opts.NoSymmetryBreak || opts.PositionFilter != nil,
 	}
+	if opts.DataAwareOrder {
+		co.Order = dataAwareOrder(store, p)
+	}
+	plan, err := oig.CompileWith(p, mode, co)
 	if err != nil {
 		return nil, err
 	}

@@ -274,12 +274,21 @@ func (w *worker) isCanonical() bool {
 }
 
 // accept applies the cheap per-candidate constraints: distinctness,
-// generation-time disconnection (skipped for profile validation, which
-// catches spurious connections itself, as HGMatch does), and the label
-// histogram for labeled patterns.
+// symmetry-breaking restrictions, generation-time disconnection (skipped
+// for profile validation, which catches spurious connections itself, as
+// HGMatch does), and the label histogram for labeled patterns.
 func (w *worker) accept(t int, c uint32) bool {
 	for j := 0; j < t; j++ {
 		if w.c[j] == c {
+			return false
+		}
+	}
+	// Symmetry breaking: the candidate must stay strictly above every
+	// restricted earlier binding, so of each unordered embedding's |Aut|
+	// ordered tuples only the lexicographically smallest survives. One
+	// compare per restriction, before any set operation runs.
+	for _, j := range w.e.plan.Steps[t].Restrict {
+		if c <= w.c[j] {
 			return false
 		}
 	}

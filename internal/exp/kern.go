@@ -36,7 +36,7 @@ func init() {
 // 2-chain pattern. Adjacent ring edges share exactly one vertex, so the
 // ordered count is 2r. Every vertex set and adjacency group is far below the
 // window threshold: the adaptive kernel must stay on the array path.
-func ringInput(r int) (*dal.Store, *oig.Plan, uint64, error) {
+func ringInput(r int) (*dal.Store, *pattern.Pattern, *oig.Plan, uint64, error) {
 	edges := make([][]uint32, r)
 	for i := 0; i < r; i++ {
 		a, b := uint32(i), uint32((i+1)%r)
@@ -47,17 +47,17 @@ func ringInput(r int) (*dal.Store, *oig.Plan, uint64, error) {
 	}
 	h, err := hypergraph.Build(r, edges, nil)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
 	p, err := pattern.New([][]uint32{{0, 1}, {1, 2}}, nil)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
 	plan, err := oig.CompileOrdered(p, oig.ModeMerged, []int{0, 1})
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
-	return dal.Build(h), plan, 2 * uint64(r), nil
+	return dal.Build(h), p, plan, 2 * uint64(r), nil
 }
 
 // cliqueInput builds k hyperedges that all share the dense core {0..core-1}
@@ -66,7 +66,7 @@ func ringInput(r int) (*dal.Store, *oig.Plan, uint64, error) {
 // the core, so every ordered triple of distinct data edges matches:
 // k·(k-1)·(k-2) embeddings. Vertex sets and adjacency groups are contiguous
 // and large, so the adaptive kernel runs entirely on bitmap windows.
-func cliqueInput(core, k int) (*dal.Store, *oig.Plan, uint64, error) {
+func cliqueInput(core, k int) (*dal.Store, *pattern.Pattern, *oig.Plan, uint64, error) {
 	mk := func(private uint32) []uint32 {
 		e := make([]uint32, core+1)
 		for v := 0; v < core; v++ {
@@ -81,17 +81,17 @@ func cliqueInput(core, k int) (*dal.Store, *oig.Plan, uint64, error) {
 	}
 	h, err := hypergraph.Build(core+k, edges, nil)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
 	p, err := pattern.New([][]uint32{mk(uint32(core)), mk(uint32(core + 1)), mk(uint32(core + 2))}, nil)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
 	plan, err := oig.CompileOrdered(p, oig.ModeMerged, []int{0, 1, 2})
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
-	return dal.Build(h), plan, uint64(k) * uint64(k-1) * uint64(k-2), nil
+	return dal.Build(h), p, plan, uint64(k) * uint64(k-1) * uint64(k-2), nil
 }
 
 // skewInput builds hubs pairs of dense hyperedges (A_h, B_h) sharing a
@@ -102,7 +102,7 @@ func cliqueInput(core, k int) (*dal.Store, *oig.Plan, uint64, error) {
 // binding dies on generation). The hot operations are skewed across density
 // classes: dense∩dense pair counts on bitmap windows, and huge∩tiny pendant
 // checks on the mixed probe path.
-func skewInput(core, hubs, pendants int) (*dal.Store, *oig.Plan, uint64, error) {
+func skewInput(core, hubs, pendants int) (*dal.Store, *pattern.Pattern, *oig.Plan, uint64, error) {
 	stride := uint32(core + 2)
 	leafBase := uint32(hubs) * stride
 	edges := make([][]uint32, 0, 2*hubs+hubs*pendants)
@@ -128,7 +128,7 @@ func skewInput(core, hubs, pendants int) (*dal.Store, *oig.Plan, uint64, error) 
 	}
 	h, err := hypergraph.Build(int(leafBase)+hubs*pendants, edges, nil)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
 	pe := func(private uint32) []uint32 {
 		e := make([]uint32, core+1)
@@ -140,32 +140,32 @@ func skewInput(core, hubs, pendants int) (*dal.Store, *oig.Plan, uint64, error) 
 	}
 	p, err := pattern.New([][]uint32{pe(uint32(core)), pe(uint32(core + 1)), {uint32(core), uint32(core + 2)}}, nil)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
 	plan, err := oig.CompileOrdered(p, oig.ModeMerged, []int{0, 1, 2})
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
-	return dal.Build(h), plan, uint64(hubs) * uint64(pendants), nil
+	return dal.Build(h), p, plan, uint64(hubs) * uint64(pendants), nil
 }
 
 func runKern(c *Context, opts RunOpts) ([]*Table, error) {
 	type input struct {
 		name  string
 		desc  string
-		build func() (*dal.Store, *oig.Plan, uint64, error)
+		build func() (*dal.Store, *pattern.Pattern, *oig.Plan, uint64, error)
 	}
 	inputs := []input{
-		{"sparse", "chain2 ring r=150000", func() (*dal.Store, *oig.Plan, uint64, error) { return ringInput(150000) }},
-		{"dense", "triangle block-clique core=160 k=36", func() (*dal.Store, *oig.Plan, uint64, error) { return cliqueInput(160, 36) }},
-		{"skewhub", "pair+pendant core=256 hubs=5000 pendants=10", func() (*dal.Store, *oig.Plan, uint64, error) { return skewInput(256, 5000, 10) }},
+		{"sparse", "chain2 ring r=150000", func() (*dal.Store, *pattern.Pattern, *oig.Plan, uint64, error) { return ringInput(150000) }},
+		{"dense", "triangle block-clique core=160 k=36", func() (*dal.Store, *pattern.Pattern, *oig.Plan, uint64, error) { return cliqueInput(160, 36) }},
+		{"skewhub", "pair+pendant core=256 hubs=5000 pendants=10", func() (*dal.Store, *pattern.Pattern, *oig.Plan, uint64, error) { return skewInput(256, 5000, 10) }},
 	}
 	repeats := 3
 	if opts.Quick {
 		inputs = []input{
-			{"sparse", "chain2 ring r=25000", func() (*dal.Store, *oig.Plan, uint64, error) { return ringInput(25000) }},
-			{"dense", "triangle block-clique core=64 k=16", func() (*dal.Store, *oig.Plan, uint64, error) { return cliqueInput(64, 16) }},
-			{"skewhub", "pair+pendant core=96 hubs=600 pendants=8", func() (*dal.Store, *oig.Plan, uint64, error) { return skewInput(96, 600, 8) }},
+			{"sparse", "chain2 ring r=25000", func() (*dal.Store, *pattern.Pattern, *oig.Plan, uint64, error) { return ringInput(25000) }},
+			{"dense", "triangle block-clique core=64 k=16", func() (*dal.Store, *pattern.Pattern, *oig.Plan, uint64, error) { return cliqueInput(64, 16) }},
+			{"skewhub", "pair+pendant core=96 hubs=600 pendants=8", func() (*dal.Store, *pattern.Pattern, *oig.Plan, uint64, error) { return skewInput(96, 600, 8) }},
 		}
 		repeats = 2
 	}
@@ -190,7 +190,7 @@ func runKern(c *Context, opts RunOpts) ([]*Table, error) {
 		},
 	}
 	for _, in := range inputs {
-		store, plan, want, err := in.build()
+		store, _, plan, want, err := in.build()
 		if err != nil {
 			return nil, fmt.Errorf("kern: %s: %w", in.name, err)
 		}

@@ -43,6 +43,13 @@ type CellRecord struct {
 	KernelArray  uint64 `json:"kernel_array,omitempty"`
 	KernelBitmap uint64 `json:"kernel_bitmap,omitempty"`
 	KernelMixed  uint64 `json:"kernel_mixed,omitempty"`
+	// Symmetry-breaking ablation fields: Restricted reports whether the
+	// plan carried ordering restrictions, Unique the unordered count, and
+	// Embeddings the enumerated-tuple count (one per orbit when
+	// restricted).
+	Restricted bool   `json:"restricted,omitempty"`
+	Unique     uint64 `json:"unique,omitempty"`
+	Embeddings uint64 `json:"embeddings,omitempty"`
 }
 
 // Recorder collects CellRecords across experiments; attach one via

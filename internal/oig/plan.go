@@ -149,6 +149,15 @@ type Step struct {
 	// EdgeLabel is the hyperedge label of pe_t (hyperedge-labeled patterns
 	// only; -1 otherwise). Candidates must carry the same label.
 	EdgeLabel int64
+	// Restrict lists earlier matching-order positions j whose bound data
+	// hyperedge ID must stay strictly below the new candidate's (c[j] < c_t)
+	// — the symmetry-breaking ordering constraints derived from the
+	// reordered pattern's automorphism group (GraphZero-style). Exactly one
+	// of each unordered embedding's |Aut| ordered tuples — the
+	// lexicographically smallest — satisfies every restriction, so an engine
+	// enforcing them counts unique embeddings directly. Empty on asymmetric
+	// patterns and on plans compiled with NoRestrictions.
+	Restrict []int
 	// Ops are the validation operations, ordered by (popcount, mask).
 	Ops []Op
 }
@@ -173,6 +182,12 @@ type Plan struct {
 	// prefix 0..t — key = profileMask | label<<32 — used by the
 	// HGMatch-style profile validator.
 	ProfileCounts []map[uint64]int
+	// Restricted reports that the plan carries symmetry-breaking
+	// restrictions (some Step.Restrict is non-empty): the engine enumerates
+	// one canonical ordered tuple per unordered embedding, ~|Aut|× less work
+	// on symmetric patterns. Asymmetric patterns compile identically with or
+	// without restrictions and leave this false.
+	Restricted bool
 	// Graph is the pattern's OIG (diagnostics, Table 6 accounting).
 	Graph *Graph
 	// CompileTime is the wall-clock compilation duration (OIG-T, Table 6).
@@ -183,17 +198,41 @@ type Plan struct {
 	FP uint64
 }
 
-// Compile analyzes the pattern and produces its execution plan. The pattern
-// is reordered by its matching order internally.
-func Compile(p *pattern.Pattern, mode Mode) (*Plan, error) {
-	return CompileOrdered(p, mode, p.MatchingOrder())
+// CompileOptions tunes Compile beyond the mode.
+type CompileOptions struct {
+	// Order is an explicit matching order (order[i] = index of the pattern
+	// hyperedge matched at step i); nil selects the structural
+	// MatchingOrder. Used for data-aware orderings built from hypergraph
+	// selectivity features.
+	Order []int
+	// NoRestrictions suppresses the symmetry-breaking pass: the plan
+	// enumerates every ordered tuple, |Aut| per unordered embedding — the
+	// pre-restriction behavior, kept for the sym ablation, for sampling
+	// estimators whose scaling math assumes ordered tuples, and for anchored
+	// (position-filtered) counting where a tuple's canonical reordering may
+	// fail the filter its original passed.
+	NoRestrictions bool
 }
 
-// CompileOrdered compiles with an explicit matching order (order[i] = index
-// of the pattern hyperedge matched at step i) — used for data-aware
-// orderings built from hypergraph selectivity features.
+// Compile analyzes the pattern and produces its execution plan. The pattern
+// is reordered by its matching order internally; symmetry-breaking
+// restrictions are emitted by default.
+func Compile(p *pattern.Pattern, mode Mode) (*Plan, error) {
+	return CompileWith(p, mode, CompileOptions{})
+}
+
+// CompileOrdered is Compile with an explicit matching order.
 func CompileOrdered(p *pattern.Pattern, mode Mode, order []int) (*Plan, error) {
+	return CompileWith(p, mode, CompileOptions{Order: order})
+}
+
+// CompileWith is the full-control compiler entry point.
+func CompileWith(p *pattern.Pattern, mode Mode, co CompileOptions) (*Plan, error) {
 	start := time.Now()
+	order := co.Order
+	if order == nil {
+		order = p.MatchingOrder()
+	}
 	rp, err := p.Reorder(order)
 	if err != nil {
 		return nil, fmt.Errorf("oig: reorder: %w", err)
@@ -235,6 +274,20 @@ func CompileOrdered(p *pattern.Pattern, mode Mode, order []int) (*Plan, error) {
 				st.Conn = append(st.Conn, j)
 			} else {
 				st.Disc = append(st.Disc, j)
+			}
+		}
+	}
+
+	// Symmetry-breaking pass: derive the stabilizer-chain restrictions of
+	// the reordered pattern's automorphism group and attach them to the
+	// steps. The counting semantics change (one canonical tuple per orbit),
+	// so the restrictions are part of the semantic fingerprint and are
+	// re-derived by VerifyProgram.
+	if !co.NoRestrictions {
+		for t, rs := range rp.SymmetryRestrictions() {
+			if len(rs) > 0 {
+				plan.Steps[t].Restrict = rs
+				plan.Restricted = true
 			}
 		}
 	}
@@ -477,9 +530,17 @@ func less(a, b uint32) bool {
 // String renders the plan in the style of Table 1.
 func (p *Plan) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan(mode=%s, order=%v, slots=%d)\n", p.Mode, p.Order, p.NumSlots)
+	fmt.Fprintf(&b, "plan(mode=%s, order=%v, slots=%d", p.Mode, p.Order, p.NumSlots)
+	if p.Restricted {
+		b.WriteString(", restricted")
+	}
+	b.WriteString(")\n")
 	for t, st := range p.Steps {
-		fmt.Fprintf(&b, "step %d: gen degree=%d conn=%v disc=%v\n", t, st.Degree, st.Conn, st.Disc)
+		fmt.Fprintf(&b, "step %d: gen degree=%d conn=%v disc=%v", t, st.Degree, st.Conn, st.Disc)
+		for _, j := range st.Restrict {
+			fmt.Fprintf(&b, " c%d<c%d", j, t)
+		}
+		b.WriteByte('\n')
 		for _, op := range st.Ops {
 			switch op.Kind {
 			case OpIntersect:

@@ -18,7 +18,7 @@ var ErrInvalidPlan = errors.New("oig: invalid plan")
 // Fingerprint hashes every plan field that affects the match count: the
 // reordered pattern (edges, vertex labels, hyperedge labels), the matching
 // order, the compile mode, the slot count, and each step's generation
-// constraints and validation operations. Derived fields that are recomputed
+// constraints, symmetry-breaking restrictions, and validation operations. Derived fields that are recomputed
 // from these (Sig, LabelSig, ProfileCounts, Graph), pure diagnostics
 // (CompileTime), and the per-op container hints (Op.Hint — performance
 // advice the engine derives from DAL density statistics; every hint value
@@ -77,6 +77,16 @@ func Fingerprint(p *Plan) uint64 {
 		}
 		wi(len(st.Disc))
 		for _, j := range st.Disc {
+			wi(j)
+		}
+		// Symmetry-breaking restrictions change what one counted tuple means
+		// (an orbit instead of an ordered embedding), so they are hashed by
+		// content: a snapshot written by a restriction-less plan can never
+		// resume onto a restricted one or vice versa, while asymmetric
+		// patterns — whose restriction lists are empty either way — stay
+		// interchangeable.
+		wi(len(st.Restrict))
+		for _, j := range st.Restrict {
 			wi(j)
 		}
 		w(uint64(int64(st.EdgeLabel)))
@@ -208,6 +218,49 @@ func VerifyProgram(p *Plan) error {
 				if maxBit(op.Mask) > t {
 					return fmt.Errorf("%w: step %d op %d (eq): mask %b not yet computable at step %d",
 						ErrInvalidPlan, t, i, op.Mask, t)
+				}
+			}
+		}
+	}
+
+	// Symmetry-breaking restrictions: every entry must name a strictly
+	// earlier position exactly once (sorted, so the check is deterministic);
+	// an unrestricted plan must carry none; and a restricted plan's lists
+	// must equal the stabilizer-chain derivation from its own pattern — a
+	// drifted restriction set silently over- or under-counts, which is
+	// exactly the class of corruption this verifier exists to refuse.
+	anyRestrict := false
+	for t := range p.Steps {
+		prev := -1
+		for _, j := range p.Steps[t].Restrict {
+			if j < 0 || j >= t {
+				return fmt.Errorf("%w: step %d: restriction references position %d, outside the bound prefix [0,%d)",
+					ErrInvalidPlan, t, j, t)
+			}
+			if j <= prev {
+				return fmt.Errorf("%w: step %d: restriction positions not strictly ascending (%d after %d)",
+					ErrInvalidPlan, t, j, prev)
+			}
+			prev = j
+			anyRestrict = true
+		}
+	}
+	if anyRestrict != p.Restricted {
+		return fmt.Errorf("%w: Restricted=%v but the steps carry restrictions=%v",
+			ErrInvalidPlan, p.Restricted, anyRestrict)
+	}
+	if p.Restricted {
+		want := p.Pattern.SymmetryRestrictions()
+		for t := range p.Steps {
+			got := p.Steps[t].Restrict
+			if len(got) != len(want[t]) {
+				return fmt.Errorf("%w: step %d: %d restrictions, the pattern's automorphism group derives %d",
+					ErrInvalidPlan, t, len(got), len(want[t]))
+			}
+			for i := range got {
+				if got[i] != want[t][i] {
+					return fmt.Errorf("%w: step %d: restriction c%d<c%d does not match the derivation (want c%d<c%d)",
+						ErrInvalidPlan, got[i], t, t, want[t][i], t)
 				}
 			}
 		}

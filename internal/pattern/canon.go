@@ -1,0 +1,252 @@
+package pattern
+
+// Canonical forms and symmetry-breaking restrictions.
+//
+// Canonicalization maps every member of an isomorphism class of patterns to
+// one representative: hyperedges are permuted to minimize the rendered
+// (region-vector, region-labels, edge-labels) byte string, and vertices are
+// renamed region by region in mask order — the same realization ShapeOf's
+// canonical region vector produces for unlabeled patterns. Two patterns are
+// isomorphic iff their canonical keys are equal (Theorem 1 extended with
+// per-region label multisets), so a query cache keyed on the canonical form
+// deduplicates every way of writing the same pattern.
+//
+// Symmetry-breaking restrictions are the GraphZero-style ordering
+// constraints derived from the automorphism group: for each non-trivial
+// orbit of matching-order positions a chain of "data-edge ID at position i <
+// ID at position j" comparisons is emitted, so an engine that enforces them
+// enumerates exactly one ordered tuple — the lexicographically smallest —
+// per unordered embedding.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+)
+
+// CanonMaxEdges bounds canonicalization: the search minimizes over all K!
+// hyperedge permutations against 2^K regions, so patterns with more
+// hyperedges fall back to literal identity (Canonical returns ok=false).
+// 6! × 2^6 ≈ 46k renderings keeps the worst case well under a millisecond.
+const CanonMaxEdges = 6
+
+// Canonical returns the canonical representative of p's isomorphism class
+// and ok=true, or (p, false) when the pattern exceeds CanonMaxEdges. The
+// representative is deterministic: every pattern isomorphic to p — same
+// structure, same vertex-label multiset per overlap region, same hyperedge
+// labels up to the permutation — canonicalizes to the identical pattern.
+// For unlabeled patterns it coincides with ShapeOf(p)'s realization.
+func Canonical(p *Pattern) (*Pattern, bool) {
+	cp, _, ok := canonicalize(p)
+	return cp, ok
+}
+
+// CanonicalKey returns a compact isomorphism-invariant identity string and
+// ok=true, or ("", false) beyond CanonMaxEdges. Keys of isomorphic patterns
+// are equal; keys of non-isomorphic patterns differ.
+func CanonicalKey(p *Pattern) (string, bool) {
+	_, key, ok := canonicalize(p)
+	return key, ok
+}
+
+// canonicalize computes the canonical pattern and key together. The
+// rendering minimized over all hyperedge permutations is, per region mask in
+// ascending order: the region's vertex count, then (labeled patterns) its
+// sorted label multiset; followed by the permuted hyperedge-label sequence.
+func canonicalize(p *Pattern) (*Pattern, string, bool) {
+	k := p.NumEdges()
+	if k > CanonMaxEdges {
+		return p, "", false
+	}
+	// Region mask of every vertex (bit i ⇔ vertex ∈ hyperedge i). Vertex IDs
+	// never referenced by an edge keep mask 0 and drop out of the canonical
+	// form — they carry no structure.
+	vmask := make([]uint32, p.numVertices)
+	for i, e := range p.edges {
+		for _, v := range e {
+			vmask[v] |= 1 << uint(i)
+		}
+	}
+
+	n := 1 << k
+	render := make([]byte, 0, 8*n)
+	best := []byte(nil)
+	var bestPerm []int
+	regionLabels := make([][]uint32, n) // scratch: labels per permuted region
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	permute(perm, 0, func(q []int) {
+		// Permuted mask: bit i of pm(v) set iff v lies in original edge q[i].
+		for mask := 1; mask < n; mask++ {
+			regionLabels[mask] = regionLabels[mask][:0]
+		}
+		for v := 0; v < p.numVertices; v++ {
+			if vmask[v] == 0 {
+				continue
+			}
+			pm := uint32(0)
+			for i := 0; i < k; i++ {
+				if vmask[v]&(1<<uint(q[i])) != 0 {
+					pm |= 1 << uint(i)
+				}
+			}
+			label := uint32(0)
+			if p.labels != nil {
+				label = p.labels[v]
+			}
+			regionLabels[pm] = append(regionLabels[pm], label)
+		}
+		render = render[:0]
+		for mask := 1; mask < n; mask++ {
+			ls := regionLabels[mask]
+			sort.Slice(ls, func(a, b int) bool { return ls[a] < ls[b] })
+			render = binary.BigEndian.AppendUint32(render, uint32(len(ls)))
+			if p.labels != nil {
+				for _, l := range ls {
+					render = binary.BigEndian.AppendUint32(render, l)
+				}
+			}
+		}
+		for i := 0; i < k; i++ {
+			render = binary.BigEndian.AppendUint32(render, p.edgeLabel(q[i]))
+		}
+		if best == nil || bytes.Compare(render, best) < 0 {
+			best = append(best[:0], render...)
+			bestPerm = append(bestPerm[:0], q...)
+		}
+	})
+
+	// Realize the canonical pattern from the winning permutation: vertices
+	// are assigned region by region in ascending mask order (ties within a
+	// region broken by label), exactly as Shape.Pattern does for unlabeled
+	// shapes. Any permutation achieving the minimal rendering yields the
+	// same realization, so the construction is deterministic.
+	type canonVertex struct {
+		mask  uint32
+		label uint32
+	}
+	var verts []canonVertex
+	for v := 0; v < p.numVertices; v++ {
+		if vmask[v] == 0 {
+			continue
+		}
+		pm := uint32(0)
+		for i := 0; i < k; i++ {
+			if vmask[v]&(1<<uint(bestPerm[i])) != 0 {
+				pm |= 1 << uint(i)
+			}
+		}
+		label := uint32(0)
+		if p.labels != nil {
+			label = p.labels[v]
+		}
+		verts = append(verts, canonVertex{pm, label})
+	}
+	sort.Slice(verts, func(a, b int) bool {
+		if verts[a].mask != verts[b].mask {
+			return verts[a].mask < verts[b].mask
+		}
+		return verts[a].label < verts[b].label
+	})
+	edges := make([][]uint32, k)
+	var labels []uint32
+	if p.labels != nil {
+		labels = make([]uint32, len(verts))
+	}
+	for id, cv := range verts {
+		if labels != nil {
+			labels[id] = cv.label
+		}
+		for i := 0; i < k; i++ {
+			if cv.mask&(1<<uint(i)) != 0 {
+				edges[i] = append(edges[i], uint32(id))
+			}
+		}
+	}
+	var edgeLabels []uint32
+	if p.edgeLabels != nil {
+		edgeLabels = make([]uint32, k)
+		for i := 0; i < k; i++ {
+			edgeLabels[i] = p.edgeLabels[bestPerm[i]]
+		}
+	}
+	cp, err := NewEdgeLabeled(edges, labels, edgeLabels)
+	if err != nil {
+		// Unreachable for valid inputs (the canonical form is isomorphic to
+		// p), but fail safe: callers fall back to literal identity.
+		return p, "", false
+	}
+	key := make([]byte, 0, len(best)+8)
+	key = binary.BigEndian.AppendUint32(key, uint32(k))
+	flags := uint32(0)
+	if p.labels != nil {
+		flags |= 1
+	}
+	if p.edgeLabels != nil {
+		flags |= 2
+	}
+	key = binary.BigEndian.AppendUint32(key, flags)
+	key = append(key, best...)
+	return cp, string(key), true
+}
+
+// SymmetryRestrictions returns per-position symmetry-breaking restrictions
+// for the pattern's hyperedge positions: Restrict[t] lists earlier positions
+// j whose bound data-hyperedge ID must stay strictly below position t's
+// (c[j] < c[t]). The constraints are derived from the automorphism group by
+// a stabilizer chain (GraphZero): of each ordered tuple's |Aut| automorphic
+// reorderings exactly one — the lexicographically smallest — satisfies every
+// restriction, so an engine enforcing them counts each unordered embedding
+// exactly once. All lists are empty when the pattern is asymmetric.
+func (p *Pattern) SymmetryRestrictions() [][]int {
+	return restrictionsFromPerms(len(p.edges), p.AutomorphismPerms())
+}
+
+// restrictionsFromPerms derives the stabilizer-chain restrictions from an
+// automorphism group given as explicit permutations over m positions. At
+// each level the first position p1 moved by the remaining subgroup anchors
+// its orbit: every other orbit member q (necessarily q > p1, since positions
+// below p1 are fixed) receives the restriction c[p1] < c[q], checkable the
+// moment position q binds; then the subgroup is cut to the stabilizer of p1
+// and the chain repeats until only the identity remains.
+func restrictionsFromPerms(m int, perms [][]int) [][]int {
+	out := make([][]int, m)
+	group := perms
+	for len(group) > 1 {
+		p1 := -1
+	findMoved:
+		for i := 0; i < m; i++ {
+			for _, pm := range group {
+				if pm[i] != i {
+					p1 = i
+					break findMoved
+				}
+			}
+		}
+		if p1 < 0 {
+			break // duplicate identities; nothing left to break
+		}
+		inOrbit := make(map[int]bool, len(group))
+		for _, pm := range group {
+			inOrbit[pm[p1]] = true
+		}
+		for q := range inOrbit {
+			if q != p1 {
+				out[q] = append(out[q], p1)
+			}
+		}
+		var stab [][]int
+		for _, pm := range group {
+			if pm[p1] == p1 {
+				stab = append(stab, pm)
+			}
+		}
+		group = stab
+	}
+	for t := range out {
+		sort.Ints(out[t])
+	}
+	return out
+}

@@ -368,11 +368,21 @@ func (p *Pattern) Reorder(order []int) (*Pattern, error) {
 // Automorphisms counts hyperedge permutations π such that the permuted
 // pattern is isomorphic to the original (equal overlap signatures — Theorem
 // 1 — and, for labeled patterns, equal label signatures). Every unordered
-// embedding is discovered once per automorphism by an ordered miner, so
-// unique-count = ordered-count / Automorphisms().
+// embedding is discovered once per automorphism by an unrestricted ordered
+// miner, so unique-count = ordered-count / Automorphisms() for complete
+// runs; symmetry-broken plans (SymmetryRestrictions) instead count each
+// unordered embedding directly.
 func (p *Pattern) Automorphisms() int {
 	return len(p.AutomorphismPerms())
 }
+
+// The automorphism search tracks used hyperedge positions in a uint64
+// bitmask, so it is only correct for patterns of at most 64 hyperedges.
+// Every constructible Pattern is bounded far below that by sig.MaxEdges
+// (NewEdgeLabeled rejects larger inputs with a clear error); this
+// compile-time assertion fails the build if the signature bound ever grows
+// past the mask width instead of letting 1<<j wrap silently.
+const _ = uint(64 - sig.MaxEdges)
 
 // AutomorphismPerms returns the hyperedge automorphism group as explicit
 // permutations (perm[i] = original index placed at position i). The
@@ -384,7 +394,7 @@ func (p *Pattern) AutomorphismPerms() [][]int {
 		labelSig, _ = p.LabelSignature()
 	}
 	perm := make([]int, m)
-	used := uint32(0)
+	used := uint64(0)
 	var perms [][]int
 	var rec func(pos int)
 	rec = func(pos int) {
@@ -399,14 +409,14 @@ func (p *Pattern) AutomorphismPerms() [][]int {
 			return
 		}
 		for j := 0; j < m; j++ {
-			if used&(1<<j) != 0 || len(p.edges[j]) != len(p.edges[pos]) ||
+			if used&(1<<uint(j)) != 0 || len(p.edges[j]) != len(p.edges[pos]) ||
 				p.edgeLabel(j) != p.edgeLabel(pos) {
 				continue
 			}
 			perm[pos] = j
-			used |= 1 << j
+			used |= 1 << uint(j)
 			rec(pos + 1)
-			used &^= 1 << j
+			used &^= 1 << uint(j)
 		}
 	}
 	rec(0)

@@ -137,6 +137,9 @@ func New(sess *ohminer.Session, cfg Config) *Server {
 	m.Set("cache_hits", expvar.Func(func() any { h, _ := sess.CacheStats(); return h }))
 	m.Set("cache_misses", expvar.Func(func() any { _, mi := sess.CacheStats(); return mi }))
 	m.Set("cached_plans", expvar.Func(func() any { return sess.CachedPlans() }))
+	m.Set("result_cache_hits", expvar.Func(func() any { h, _ := sess.ResultCacheStats(); return h }))
+	m.Set("result_cache_misses", expvar.Func(func() any { _, mi := sess.ResultCacheStats(); return mi }))
+	m.Set("cached_results", expvar.Func(func() any { return sess.CachedResults() }))
 	s.vars = m
 	publish(m)
 	return s

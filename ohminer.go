@@ -235,9 +235,25 @@ func WithEmbeddings(fn func(edges []uint32)) Option {
 // WithCanonicalEmbeddingsOnly filters the WithEmbeddings callback to one
 // canonical tuple per unordered embedding (counts are unaffected): useful
 // when the pattern has automorphisms and each match should be reported
-// once.
+// once. Plans compiled with symmetry-breaking restrictions (the default)
+// already deliver exactly that, so this option matters only together with
+// WithoutSymmetryBreaking.
 func WithCanonicalEmbeddingsOnly() Option {
 	return func(c *config) { c.UniqueOnly = true }
+}
+
+// WithoutSymmetryBreaking compiles the plan without the symmetry-breaking
+// ordering restrictions, restoring the legacy enumeration that visits every
+// ordered tuple of an embedding (|Aut| of them per unordered match) and
+// derives Unique by division. The default — restrictions on — enumerates
+// one canonical tuple per embedding, shrinking the search by the
+// automorphism count and making Unique exact even for truncated runs.
+// Counts agree between the two modes on complete runs; use this for
+// ablations, for WithEmbeddings callbacks that must observe every ordered
+// tuple, or to resume checkpoints written by builds without the
+// restriction pass.
+func WithoutSymmetryBreaking() Option {
+	return func(c *config) { c.NoSymmetryBreak = true }
 }
 
 // Mine finds all embeddings of p in the store's hypergraph using the

@@ -1,6 +1,7 @@
 package ohminer
 
 import (
+	"container/list"
 	"context"
 	"encoding/binary"
 	"sync"
@@ -11,41 +12,91 @@ import (
 	"ohminer/internal/pattern"
 )
 
-// Session binds a store to a compiled-plan cache so repeated queries skip
-// recompilation. Compilation is sub-millisecond (Table 6's OIG-T), but a
-// service answering thousands of queries per second over the same store —
-// the deployment the paper's API discussion envisions — should not redo
-// pattern analysis per request, and the cache also deduplicates plans for
-// isomorphic patterns via their canonical shape keys.
+// DefaultResultCacheCapacity is the result cache size a new Session starts
+// with; SetResultCacheCapacity overrides it.
+const DefaultResultCacheCapacity = 256
+
+// Session binds a store to two caches so repeated queries skip redundant
+// work:
+//
+//   - a compiled-plan cache keyed on the pattern's canonical form, so every
+//     way of writing the same pattern — any isomorphic literal — shares one
+//     plan. Compilation is sub-millisecond (Table 6's OIG-T), but a service
+//     answering thousands of queries per second over the same store — the
+//     deployment the paper's API discussion envisions — should not redo
+//     pattern analysis per request. Concurrent first requests for the same
+//     pattern compile once (the laggards wait for the winner);
+//   - a bounded LRU result cache over complete counting runs: a repeat of a
+//     query whose options do not observe per-run state (no limit, no
+//     embedding callback, no checkpointing, no instrumentation) returns the
+//     cached Result without touching the engine. The store is immutable, so
+//     cached counts never go stale; cached results keep their original
+//     Elapsed and Stats.
+//
+// Plans are compiled from the canonical pattern, so WithEmbeddings
+// callbacks through a Session report hyperedge IDs in the canonical plan's
+// matching order — identical for every isomorphic literal of the query.
+// Counts (Unique, Ordered) are isomorphism-invariant and unaffected.
 //
 // Sessions are safe for concurrent use.
 type Session struct {
 	store *Store
 
 	mu    sync.Mutex
-	plans map[sessionKey]*Plan
+	plans map[sessionKey]*planEntry
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	rmu      sync.Mutex
+	results  map[sessionKey]*list.Element
+	lru      *list.List
+	capacity int
+
+	rhits   atomic.Uint64
+	rmisses atomic.Uint64
 }
 
+// sessionKey identifies one compiled plan: the pattern's identity (canonical
+// key when canonicalization applies, exact literal plus labels beyond
+// pattern.CanonMaxEdges) plus every option that changes what the compiler
+// emits. Two queries with equal keys are answered by the same computation,
+// so the key doubles as the result-cache identity.
 type sessionKey struct {
-	shape   string
-	literal string // exact pattern text; labeled patterns are not shape-keyed
-	mode    oig.Mode
+	canon      string
+	mode       oig.Mode
+	restricted bool // symmetry-breaking restrictions compiled in
+	dataAware  bool // matching order derived from data selectivity
+}
+
+// planEntry is one plan-cache slot. The sync.Once makes compilation
+// single-flight: the first goroutine to reach a fresh entry compiles while
+// any concurrent requester for the same key blocks in Do and then reads the
+// shared outcome — the compiler runs exactly once per key.
+type planEntry struct {
+	once sync.Once
+	plan *Plan
+	err  error
 }
 
 // NewSession creates a query session over the store.
 func NewSession(store *Store) *Session {
-	return &Session{store: store, plans: map[sessionKey]*Plan{}}
+	return &Session{
+		store:    store,
+		plans:    map[sessionKey]*planEntry{},
+		results:  map[sessionKey]*list.Element{},
+		lru:      list.New(),
+		capacity: DefaultResultCacheCapacity,
+	}
 }
 
 // Store returns the session's store.
 func (s *Session) Store() *Store { return s.store }
 
-// Mine runs a query, reusing a cached plan when one exists for the
-// pattern. All Mine options apply except the validation-mode-changing
-// variants, which select the plan mode transparently.
+// Mine runs a query, reusing a cached plan (and, for pure counting queries,
+// a cached result) when one exists for the pattern's isomorphism class. All
+// Mine options apply except the validation-mode-changing variants, which
+// select the plan mode transparently.
 func (s *Session) Mine(p *Pattern, opts ...Option) (Result, error) {
 	return s.MineContext(context.Background(), p, opts...)
 }
@@ -60,15 +111,23 @@ func (s *Session) MineContext(ctx context.Context, p *Pattern, opts ...Option) (
 	if err != nil {
 		return Result{}, err
 	}
-	mode := oig.ModeMerged
-	if o.Val == engine.ValOverlapSimple {
-		mode = oig.ModeSimple
-	}
-	plan, err := s.plan(p, mode)
+	plan, key, err := s.plan(p, o)
 	if err != nil {
 		return Result{}, err
 	}
-	return engine.MineWithPlanContext(ctx, s.store, plan, o)
+	if !resultCacheable(o) {
+		return engine.MineWithPlanContext(ctx, s.store, plan, o)
+	}
+	if res, ok := s.lookupResult(key); ok {
+		return res, nil
+	}
+	res, err := engine.MineWithPlanContext(ctx, s.store, plan, o)
+	if err == nil && !res.Truncated {
+		// Only complete, successful runs are reusable answers; a partial
+		// count (deadline, cancellation) must never shadow the real one.
+		s.storeResult(key, res)
+	}
+	return res, err
 }
 
 // ResumeContext continues an interrupted checkpointed run (see
@@ -77,16 +136,14 @@ func (s *Session) MineContext(ctx context.Context, p *Pattern, opts ...Option) (
 // fingerprints are verified against that plan and the store, and mining
 // proceeds from the saved frontier with exactly-once counting. This is the
 // entry point the ohmserve jobs subsystem drives to survive restarts.
+// Because plans are canonical, a snapshot written through one literal of a
+// pattern resumes through any isomorphic literal.
 func (s *Session) ResumeContext(ctx context.Context, p *Pattern, snap *CheckpointSnapshot, opts ...Option) (Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return Result{}, err
 	}
-	mode := oig.ModeMerged
-	if o.Val == engine.ValOverlapSimple {
-		mode = oig.ModeSimple
-	}
-	plan, err := s.plan(p, mode)
+	plan, _, err := s.plan(p, o)
 	if err != nil {
 		return Result{}, err
 	}
@@ -106,38 +163,150 @@ func (s *Session) CacheStats() (hits, misses uint64) {
 	return s.hits.Load(), s.misses.Load()
 }
 
-func (s *Session) plan(p *Pattern, mode oig.Mode) (*Plan, error) {
-	key := sessionKey{mode: mode}
-	if p.Labeled() || p.EdgeLabeled() {
-		// Labels distinguish patterns beyond structure; key on the exact
-		// literal plus labels rendered through String (vertex labels are
-		// positional, so the literal alone is insufficient — skip caching
-		// unless identical object semantics are cheap to derive).
-		key.literal = p.String() + "|" + labelFingerprint(p)
+// CachedResults reports how many complete query results the session holds.
+func (s *Session) CachedResults() int {
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	return s.lru.Len()
+}
+
+// ResultCacheStats reports, over cacheable queries only (no limit, no
+// embedding callback, no checkpointing, no instrumentation), how many were
+// answered from the result cache (hits) and how many ran the engine
+// (misses).
+func (s *Session) ResultCacheStats() (hits, misses uint64) {
+	return s.rhits.Load(), s.rmisses.Load()
+}
+
+// SetResultCacheCapacity bounds the result cache to n entries, evicting
+// least-recently-used entries if it currently holds more; n <= 0 disables
+// result caching and drops every held result. The plan cache is unaffected.
+func (s *Session) SetResultCacheCapacity(n int) {
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	s.capacity = n
+	s.evictOver()
+}
+
+// plan returns the compiled plan for (p, o) and its cache key, compiling at
+// most once per key across concurrent callers.
+func (s *Session) plan(p *Pattern, o engine.Options) (*Plan, sessionKey, error) {
+	mode := oig.ModeMerged
+	if o.Val == engine.ValOverlapSimple {
+		mode = oig.ModeSimple
+	}
+	key := sessionKey{
+		mode: mode,
+		// Mirrors engine.CompilePlan's restriction gating so the key always
+		// names the plan that call will produce.
+		restricted: !o.NoSymmetryBreak && o.PositionFilter == nil,
+		dataAware:  o.DataAwareOrder,
+	}
+	canonical := false
+	if ck, ok := pattern.CanonicalKey(p); ok {
+		// Isomorphic literals share this key (Theorem 1 extended with label
+		// multisets); the plan itself is compiled from the canonical
+		// representative so every literal maps onto the identical plan.
+		key.canon = ck
+		canonical = true
 	} else {
-		// Unlabeled patterns with the same canonical shape are isomorphic
-		// (Theorem 1) and can share a plan only if the plan is built from
-		// the same concrete pattern; key on shape + literal to stay exact
-		// while still deduplicating repeated query texts.
-		key.shape = pattern.ShapeOf(p).Key()
-		key.literal = p.String()
+		// Beyond pattern.CanonMaxEdges canonicalization is too expensive;
+		// fall back to exact literal identity. The "lit:" prefix cannot
+		// collide with a canonical key, whose first byte is a length-field
+		// zero.
+		key.canon = "lit:" + p.String() + "|" + labelFingerprint(p)
 	}
+
 	s.mu.Lock()
-	if plan, ok := s.plans[key]; ok {
-		s.mu.Unlock()
+	e, ok := s.plans[key]
+	if !ok {
+		e = &planEntry{}
+		s.plans[key] = e
+	}
+	s.mu.Unlock()
+
+	compiled := false
+	e.once.Do(func() {
+		compiled = true
+		cp := p
+		if canonical {
+			if c, cok := pattern.Canonical(p); cok {
+				cp = c
+			}
+		}
+		e.plan, e.err = engine.CompilePlan(s.store, cp, o)
+	})
+	if compiled {
+		s.misses.Add(1)
+		if e.err != nil {
+			// Evict failed entries so CachedPlans counts plans, not errors
+			// (recompiling a failing pattern is cheap and the error is
+			// deterministic either way).
+			s.mu.Lock()
+			if s.plans[key] == e {
+				delete(s.plans, key)
+			}
+			s.mu.Unlock()
+		}
+	} else {
 		s.hits.Add(1)
-		return plan, nil
 	}
-	s.mu.Unlock()
-	plan, err := oig.Compile(p, mode)
-	if err != nil {
-		return nil, err
+	return e.plan, key, e.err
+}
+
+// resultCacheable reports whether a query's options allow answering it from
+// (and storing it into) the result cache: nothing about the run may observe
+// per-run state. Limits change the counts themselves, embedding callbacks
+// and checkpoint sinks are side effects the caller expects to fire, and
+// instrumented runs want freshly measured Stats. Deadlines merely bound the
+// run: a cached complete result satisfies any deadline, and truncated runs
+// are never stored.
+func resultCacheable(o engine.Options) bool {
+	return o.Limit == 0 && o.OnEmbedding == nil && o.Checkpoint == nil &&
+		o.PositionFilter == nil && !o.Instrument
+}
+
+// resultEntry is one LRU slot; the key rides along for map cleanup on
+// eviction.
+type resultEntry struct {
+	key sessionKey
+	res Result
+}
+
+func (s *Session) lookupResult(key sessionKey) (Result, bool) {
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	if el, ok := s.results[key]; ok {
+		s.lru.MoveToFront(el)
+		s.rhits.Add(1)
+		return el.Value.(*resultEntry).res, true
 	}
-	s.misses.Add(1)
-	s.mu.Lock()
-	s.plans[key] = plan
-	s.mu.Unlock()
-	return plan, nil
+	s.rmisses.Add(1)
+	return Result{}, false
+}
+
+func (s *Session) storeResult(key sessionKey, res Result) {
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	if s.capacity <= 0 {
+		return
+	}
+	if el, ok := s.results[key]; ok {
+		el.Value.(*resultEntry).res = res
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.results[key] = s.lru.PushFront(&resultEntry{key: key, res: res})
+	s.evictOver()
+}
+
+// evictOver trims the LRU to capacity; callers hold rmu.
+func (s *Session) evictOver() {
+	for s.lru.Len() > s.capacity && s.lru.Len() > 0 {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.results, back.Value.(*resultEntry).key)
+	}
 }
 
 // labelFingerprint renders the pattern's vertex and hyperedge labels into

@@ -1,0 +1,168 @@
+package ohminer
+
+// Tests for the canonical plan cache and the result cache: isomorphic
+// literals share one plan and one cached result, compilation is
+// single-flight under concurrency, and only complete side-effect-free runs
+// enter the result cache.
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestSessionIsomorphicLiteralsShare: two different literals of the same
+// pattern compile once, share the cached plan, and the second counting
+// query is answered from the result cache.
+func TestSessionIsomorphicLiteralsShare(t *testing.T) {
+	s, p := sessionFixture(t)
+	q, err := ParsePattern("10 11 12 13 14 15; 13 14 15 16 17 18; 13 14 15 16 17 19 20 21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.Mine(p, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Mine(q, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Unique != r2.Unique || r1.Ordered != r2.Ordered {
+		t.Fatalf("isomorphic literals disagree: %d/%d vs %d/%d", r1.Unique, r1.Ordered, r2.Unique, r2.Ordered)
+	}
+	if got := s.CachedPlans(); got != 1 {
+		t.Errorf("cached plans %d, want 1 (isomorphic literals share)", got)
+	}
+	if hits, misses := s.CacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("plan cache hits/misses %d/%d, want 1/1", hits, misses)
+	}
+	if hits, misses := s.ResultCacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("result cache hits/misses %d/%d, want 1/1 (second literal reuses the result)", hits, misses)
+	}
+	if got := s.CachedResults(); got != 1 {
+		t.Errorf("cached results %d, want 1", got)
+	}
+}
+
+// TestSessionResultCacheGating: queries with side effects or partial
+// results never populate (or read) the result cache.
+func TestSessionResultCacheGating(t *testing.T) {
+	s, p := sessionFixture(t)
+
+	// Limit, callback, and instrumented queries bypass the cache entirely.
+	if _, err := s.Mine(p, WithWorkers(1), WithLimit(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Mine(p, WithWorkers(1), WithEmbeddings(func([]uint32) {})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Mine(p, WithWorkers(1), WithInstrumentation()); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := s.ResultCacheStats(); hits != 0 || misses != 0 {
+		t.Errorf("side-effecting queries touched the result cache: hits/misses %d/%d", hits, misses)
+	}
+	if got := s.CachedResults(); got != 0 {
+		t.Errorf("cached results %d after non-cacheable queries, want 0", got)
+	}
+
+	// A cancelled run errors and must not be stored.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.MineContext(ctx, p, WithWorkers(1)); err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if got := s.CachedResults(); got != 0 {
+		t.Errorf("cancelled run was cached (%d results)", got)
+	}
+
+	// A clean run is stored; repeating it hits.
+	want, err := s.Mine(p, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Mine(p, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Unique != want.Unique || got.Ordered != want.Ordered {
+		t.Errorf("cached result %d/%d differs from computed %d/%d", got.Unique, got.Ordered, want.Unique, want.Ordered)
+	}
+	if hits, _ := s.ResultCacheStats(); hits != 1 {
+		t.Errorf("repeat query did not hit the result cache (hits=%d)", hits)
+	}
+}
+
+// TestSessionResultCacheCapacity: the LRU evicts, and capacity 0 disables
+// and drops everything held.
+func TestSessionResultCacheCapacity(t *testing.T) {
+	s, p := sessionFixture(t)
+	p2, err := ParsePattern("0 1 2 3 4 5; 3 4 5 6 7 8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetResultCacheCapacity(1)
+	if _, err := s.Mine(p, WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Mine(p2, WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CachedResults(); got != 1 {
+		t.Fatalf("cached results %d with capacity 1, want 1", got)
+	}
+	// p was evicted by p2: repeating it misses and re-runs.
+	if _, err := s.Mine(p, WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := s.ResultCacheStats(); hits != 0 || misses != 3 {
+		t.Errorf("hits/misses %d/%d, want 0/3 (capacity-1 thrash)", hits, misses)
+	}
+	s.SetResultCacheCapacity(0)
+	if got := s.CachedResults(); got != 0 {
+		t.Errorf("capacity 0 kept %d results", got)
+	}
+	if _, err := s.Mine(p, WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CachedResults(); got != 0 {
+		t.Errorf("disabled cache stored a result")
+	}
+}
+
+// TestSessionSingleflightCompile: many goroutines racing on one fresh
+// pattern compile it exactly once (run under -race in CI).
+func TestSessionSingleflightCompile(t *testing.T) {
+	s, p := sessionFixture(t)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := s.Mine(p, WithWorkers(1)); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := s.CachedPlans(); got != 1 {
+		t.Errorf("cached plans %d, want 1", got)
+	}
+	hits, misses := s.CacheStats()
+	if misses != 1 {
+		t.Errorf("misses %d, want 1 (single-flight compile)", misses)
+	}
+	if hits+misses != goroutines {
+		t.Errorf("hits+misses %d+%d, want %d", hits, misses, goroutines)
+	}
+}
