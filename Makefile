@@ -63,17 +63,21 @@ examples:
 serve-smoke:
 	$(GO) test -race -count=1 -run TestServeSmoke ./cmd/ohmserve
 
-# End-to-end drill for the distributed cluster: builds ohmserve and
-# ohmworker, starts a coordinator plus three workers over one dataset,
-# SIGKILLs a worker mid-run, and asserts the final counts equal a
-# single-node run (see docs/DISTRIBUTED.md).
+# End-to-end drills for the distributed cluster: builds ohmserve and
+# ohmworker, then (a) SIGKILLs a worker mid-run and (b) SIGKILLs a durable
+# coordinator (-cluster-dir) mid-job and restarts it from its WAL on the
+# same port; both drills assert final counts equal a single-node run (see
+# docs/DISTRIBUTED.md). The -run prefix matches both TestClusterSmoke and
+# TestClusterSmokeCoordinatorRestart.
 cluster-smoke:
 	$(GO) test -count=1 -run TestClusterSmoke ./cmd/ohmworker
 
 # Fault-injection chaos drill: kill-at-kth-checkpoint, torn writes, worker
-# panics, full-disk runs, and the cluster's kill/zombie scenarios must all
-# recover (or refuse) with exact counts, race-instrumented, on both
-# scheduler paths (see docs/ROBUSTNESS.md and docs/DISTRIBUTED.md).
+# panics, full-disk runs, the cluster's kill/zombie scenarios, and the
+# coordinator's own WAL crash/restart (kill-after-kth-record and torn
+# append) must all recover (or refuse) with exact counts,
+# race-instrumented, on both scheduler paths (see docs/ROBUSTNESS.md and
+# docs/DISTRIBUTED.md).
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/engine ./internal/cluster
 

@@ -59,6 +59,7 @@ func run() error {
 		clusterOn  = flag.Bool("cluster", false, "run as distributed-mining coordinator (/cluster endpoints; pair with ohmworker)")
 		parts      = flag.Int("cluster-parts", 16, "task partitions per distributed job (more parts = finer reassignment granularity)")
 		leaseTTL   = flag.Duration("lease-ttl", 10*time.Second, "cluster lease deadline: a worker missing heartbeats this long forfeits its task")
+		clusterDir = flag.String("cluster-dir", "", "make the coordinator durable: WAL + snapshot of cluster state here, replayed on restart so running jobs survive a coordinator crash")
 	)
 	flag.Parse()
 
@@ -104,11 +105,25 @@ func run() error {
 		CheckpointEvery: *ckptEvery,
 	}
 	if *clusterOn {
-		cfg.Cluster = cluster.New(store, cluster.Config{
+		coord, err := cluster.New(store, cluster.Config{
 			LeaseTTL: *leaseTTL,
 			Parts:    *parts,
+			Dir:      *clusterDir,
 		})
+		if err != nil {
+			return fmt.Errorf("cluster coordinator: %w", err)
+		}
+		defer coord.Close()
+		cfg.Cluster = coord
 		fmt.Fprintf(os.Stderr, "ohmserve: cluster coordinator enabled (parts=%d, lease-ttl=%v)\n", *parts, *leaseTTL)
+		if *clusterDir != "" {
+			st := coord.Status()
+			// The smoke test parses this line after a coordinator restart.
+			fmt.Fprintf(os.Stderr, "ohmserve: cluster state durable in %s (replayed jobs=%d, resurrected leases=%d)\n",
+				*clusterDir, st.ReplayedJobs, st.ResurrectedLeases)
+		}
+	} else if *clusterDir != "" {
+		return fmt.Errorf("-cluster-dir requires -cluster")
 	}
 	srv := serve.New(ohminer.NewSession(store), cfg)
 

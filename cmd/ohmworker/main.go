@@ -48,7 +48,9 @@ func run() error {
 		dataset  = flag.String("dataset", "", "generate a Table 3 preset instead of reading a file (must match the coordinator's)")
 		name     = flag.String("name", "", "worker name in leases and cluster status (default: host-pid)")
 		workers  = flag.Int("workers", 0, "engine worker goroutines per task (0 = GOMAXPROCS)")
-		poll     = flag.Duration("poll", 500*time.Millisecond, "idle wait between lease requests when the coordinator has no work")
+		poll     = flag.Duration("poll", 500*time.Millisecond, "idle wait between lease requests when the coordinator has no work; also seeds the error backoff")
+		reqTO    = flag.Duration("request-timeout", 5*time.Second, "per-request deadline on every coordinator round trip (a hung socket must not stall heartbeats past the lease TTL)")
+		maxBO    = flag.Duration("max-backoff", 30*time.Second, "cap on the jittered exponential backoff after transient coordinator errors")
 		throttle = flag.Duration("throttle", 0, "busy-wait per embedding (test/smoke knob to stretch small workloads; 0 in production)")
 	)
 	flag.Parse()
@@ -90,11 +92,13 @@ func run() error {
 	}
 
 	cfg := cluster.WorkerConfig{
-		Coordinator: *coord,
-		Name:        *name,
-		Store:       store,
-		Poll:        *poll,
-		Engine:      engine.Options{Workers: *workers},
+		Coordinator:    *coord,
+		Name:           *name,
+		Store:          store,
+		Poll:           *poll,
+		RequestTimeout: *reqTO,
+		MaxBackoff:     *maxBO,
+		Engine:         engine.Options{Workers: *workers},
 		Logf: func(format string, args ...any) {
 			// One line per protocol event; the smoke test watches for
 			// "lease " to know a worker holds a task.

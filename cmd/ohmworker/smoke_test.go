@@ -25,22 +25,18 @@ import (
 // require that the job still completes with counts identical to a
 // single-node run — the kill costs a reassignment, never an embedding.
 // `make cluster-smoke` (wired into `make ci`) runs exactly this test.
-func TestClusterSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("smoke test builds and runs child binaries")
-	}
-	dir := t.TempDir()
-
-	// Star hypergraph: 60 edges all sharing vertex 0, so "0 1; 0 2" has
-	// 60×59 ordered embeddings. Written as the text format both binaries
-	// load, and mined in-process first for the single-node reference count.
+// smokeWorkload writes the star dataset both binaries load — 60 edges all
+// sharing vertex 0, so "0 1; 0 2" has 60×59 ordered embeddings — and mines
+// it in-process for the single-node reference counts.
+func smokeWorkload(t *testing.T, dir string) (dataPath string, ordered, unique uint64) {
+	t.Helper()
 	var data bytes.Buffer
 	edges := make([][]uint32, 60)
 	for i := range edges {
 		edges[i] = []uint32{0, uint32(i) + 1}
 		fmt.Fprintf(&data, "0 %d\n", i+1)
 	}
-	dataPath := filepath.Join(dir, "data.hg")
+	dataPath = filepath.Join(dir, "data.hg")
 	if err := os.WriteFile(dataPath, data.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -56,9 +52,15 @@ func TestClusterSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatalf("single-node reference run: %v", err)
 	}
+	return dataPath, single.Ordered, single.Unique
+}
 
-	serveBin := filepath.Join(dir, "ohmserve")
-	workerBin := filepath.Join(dir, "ohmworker")
+// buildSmokeBinaries compiles the real ohmserve and ohmworker into dir,
+// race-instrumented when this test binary is.
+func buildSmokeBinaries(t *testing.T, dir string) (serveBin, workerBin string) {
+	t.Helper()
+	serveBin = filepath.Join(dir, "ohmserve")
+	workerBin = filepath.Join(dir, "ohmworker")
 	for bin, pkg := range map[string]string{serveBin: "ohminer/cmd/ohmserve", workerBin: "."} {
 		buildArgs := []string{"build"}
 		if raceEnabled {
@@ -69,6 +71,50 @@ func TestClusterSmoke(t *testing.T) {
 			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
 		}
 	}
+	return serveBin, workerBin
+}
+
+// smokeJobStatus is the slice of the job-status JSON the smoke drills check.
+type smokeJobStatus struct {
+	State      string `json:"state"`
+	Ordered    uint64 `json:"ordered"`
+	Unique     uint64 `json:"unique"`
+	Reassigned int    `json:"reassigned"`
+	Error      string `json:"error"`
+}
+
+// waitSmokeJobDone polls the job until it is done (failing fast on a failed
+// state), with the coordinator logs attached to any timeout.
+func waitSmokeJobDone(t *testing.T, base, id string, limit time.Duration, coordLog *logWatcher) smokeJobStatus {
+	t.Helper()
+	var st smokeJobStatus
+	deadline := time.Now().Add(limit)
+	for {
+		resp, err := http.Get(base + "/cluster/jobs/" + id)
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+		}
+		if err == nil && st.State == "done" {
+			return st
+		}
+		if err == nil && st.State == "failed" {
+			t.Fatalf("cluster job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster job never completed (last: %+v); coordinator logs:\n%s", st, coordLog.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test builds and runs child binaries")
+	}
+	dir := t.TempDir()
+	dataPath, singleOrdered, singleUnique := smokeWorkload(t, dir)
+	serveBin, workerBin := buildSmokeBinaries(t, dir)
 
 	// Coordinator: short lease TTL so the killed worker's task is reclaimed
 	// within the test's patience; 16 parts so every worker gets several.
@@ -133,34 +179,10 @@ func TestClusterSmoke(t *testing.T) {
 	_ = w3.Wait() // expected: "signal: killed"
 
 	// The survivors finish the job, the killed worker's lease included.
-	var st struct {
-		State      string `json:"state"`
-		Ordered    uint64 `json:"ordered"`
-		Unique     uint64 `json:"unique"`
-		Reassigned int    `json:"reassigned"`
-		Error      string `json:"error"`
-	}
-	deadline := time.Now().Add(120 * time.Second)
-	for {
-		resp, err := http.Get(base + "/cluster/jobs/smoke")
-		if err == nil {
-			err = json.NewDecoder(resp.Body).Decode(&st)
-			resp.Body.Close()
-		}
-		if err == nil && st.State == "done" {
-			break
-		}
-		if err == nil && st.State == "failed" {
-			t.Fatalf("cluster job failed: %s", st.Error)
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("cluster job never completed (last: %+v); coordinator logs:\n%s", st, coordLog.String())
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	if st.Ordered != single.Ordered || st.Unique != single.Unique {
+	st := waitSmokeJobDone(t, base, "smoke", 120*time.Second, coordLog)
+	if st.Ordered != singleOrdered || st.Unique != singleUnique {
 		t.Errorf("cluster counted ordered=%d unique=%d, single-node %d/%d",
-			st.Ordered, st.Unique, single.Ordered, single.Unique)
+			st.Ordered, st.Unique, singleOrdered, singleUnique)
 	}
 	// The kill usually costs a reassignment, but w3 may have finished its
 	// first task in the instant before the signal landed; that is a timing
@@ -186,6 +208,143 @@ func TestClusterSmoke(t *testing.T) {
 	}
 	if err := coord.Wait(); err != nil {
 		t.Errorf("coordinator exit: %v\nlogs:\n%s", err, coordLog.String())
+	}
+}
+
+// TestClusterSmokeCoordinatorRestart is the durability half of the drill:
+// the coordinator itself is SIGKILLed mid-job and restarted on the same port
+// from the same -cluster-dir. The restarted process must replay the job from
+// its WAL, force-expire the orphaned leases, and the three (untouched)
+// workers must finish it with counts identical to a single-node run.
+func TestClusterSmokeCoordinatorRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test builds and runs child binaries")
+	}
+	dir := t.TempDir()
+	dataPath, singleOrdered, singleUnique := smokeWorkload(t, dir)
+	serveBin, workerBin := buildSmokeBinaries(t, dir)
+	stateDir := filepath.Join(dir, "cluster-state")
+
+	// startCoordinator reports ok=false when the process never announced a
+	// listener (e.g. the restart lost the port-rebind race).
+	startCoordinator := func(addr string, patience time.Duration) (*exec.Cmd, *logWatcher, string, bool) {
+		coord := exec.Command(serveBin,
+			"-cluster",
+			"-addr", addr,
+			"-input", dataPath,
+			"-cluster-parts", "16",
+			"-lease-ttl", "2s",
+			"-cluster-dir", stateDir)
+		log := watchStderr(t, coord, "coordinator")
+		if err := coord.Start(); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := log.waitFor("ohmserve: listening on ", patience)
+		return coord, log, got, ok
+	}
+
+	coord, coordLog, addr, ok := startCoordinator("127.0.0.1:0", 30*time.Second)
+	if !ok {
+		t.Fatalf("coordinator never announced its address; logs:\n%s", coordLog.String())
+	}
+	defer func() { coord.Process.Kill() }()
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/cluster/jobs", "application/json",
+		strings.NewReader(`{"id": "smoke", "pattern": "0 1; 0 2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create cluster job: status %d", resp.StatusCode)
+	}
+
+	// Three workers, none of them touched by the fault. The short max
+	// backoff keeps their retry loops snappy across the coordinator gap;
+	// the request timeout makes sure none of them hangs on the dying
+	// coordinator's half-open sockets.
+	startWorker := func(name string) *exec.Cmd {
+		w := exec.Command(workerBin,
+			"-coordinator", base,
+			"-input", dataPath,
+			"-name", name,
+			"-workers", "2",
+			"-poll", "50ms",
+			"-max-backoff", "500ms",
+			"-request-timeout", "2s",
+			"-throttle", "300us")
+		lw := watchStderr(t, w, name)
+		if err := w.Start(); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		if name == "w1" {
+			// Hold the test until at least one lease is out, so the kill
+			// lands with real in-flight state in the WAL.
+			if _, ok := lw.waitFor("lease ", 60*time.Second); !ok {
+				t.Fatalf("w1 never leased a task; logs:\n%s", lw.String())
+			}
+		}
+		return w
+	}
+	workers := []*exec.Cmd{startWorker("w1"), startWorker("w2"), startWorker("w3")}
+	defer func() {
+		for _, w := range workers {
+			w.Process.Kill()
+		}
+	}()
+
+	// SIGKILL the coordinator mid-job: no drain, no final sync — only what
+	// the WAL already made durable survives.
+	if err := coord.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = coord.Wait()
+
+	// Restart on the same port from the same state directory. The listener
+	// rebind can race the kernel reclaiming the port, so try a few times.
+	var restartLog *logWatcher
+	for attempt := 0; ; attempt++ {
+		c, lg, _, ok := startCoordinator(addr, 10*time.Second)
+		if ok {
+			coord, restartLog = c, lg
+			break
+		}
+		c.Process.Kill()
+		_ = c.Wait()
+		if attempt >= 5 {
+			t.Fatalf("restarted coordinator never came up on %s; logs:\n%s", addr, lg.String())
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	// The durable line prints before the listener, so it is already in the
+	// buffer; "replayed jobs=1" is the WAL replay doing its job.
+	if line, ok := restartLog.waitFor("replayed jobs=", time.Second); !ok || strings.HasPrefix(line, "0") {
+		t.Fatalf("restarted coordinator replayed no jobs (line %q); logs:\n%s", line, restartLog.String())
+	}
+
+	st := waitSmokeJobDone(t, base, "smoke", 120*time.Second, restartLog)
+	if st.Ordered != singleOrdered || st.Unique != singleUnique {
+		t.Errorf("cluster counted ordered=%d unique=%d after coordinator restart, single-node %d/%d",
+			st.Ordered, st.Unique, singleOrdered, singleUnique)
+	}
+
+	// Everyone drains cleanly on SIGTERM.
+	for _, w := range workers {
+		if err := w.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range workers {
+		if err := w.Wait(); err != nil {
+			t.Errorf("worker w%d exit: %v", i+1, err)
+		}
+	}
+	if err := coord.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Wait(); err != nil {
+		t.Errorf("restarted coordinator exit: %v\nlogs:\n%s", err, restartLog.String())
 	}
 }
 

@@ -126,6 +126,24 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
+// Marshal returns the snapshot in the same versioned binary format Encode
+// writes — the convenience used where snapshots are embedded in other
+// containers (cluster lease payloads, the coordinator's WAL state snapshot)
+// rather than stored as files.
+func (s *Snapshot) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a snapshot produced by Marshal (or Encode), with the
+// same verification Decode performs.
+func Unmarshal(b []byte) (*Snapshot, error) {
+	return Decode(bytes.NewReader(b))
+}
+
 func writeU64s(w io.Writer, vs []uint64) error {
 	if err := binary.Write(w, binary.LittleEndian, vs); err != nil {
 		return fmt.Errorf("checkpoint: encode: %w", err)

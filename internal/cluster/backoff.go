@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with full jitter, the
+// standard defense against retry storms: when a coordinator restarts, every
+// worker in the fleet sees its request fail at the same instant, and without
+// jitter they would all retry in lockstep, hammering the recovering process
+// at exactly the moment it is replaying its WAL. Each Next doubles a ceiling
+// (Base, 2·Base, 4·Base, … capped at Max) and returns a uniformly random
+// delay in [ceiling/2, ceiling], so synchronized failures decorrelate within
+// a couple of rounds while the lower bound keeps the retry rate honest.
+//
+// A Backoff is not safe for concurrent use; each retry loop owns its own.
+type Backoff struct {
+	// Base is the first delay ceiling (0 = 500ms).
+	Base time.Duration
+	// Max caps the ceiling growth (0 = 30s).
+	Max time.Duration
+
+	attempt int
+	// rnd is the jitter source (nil = math/rand); tests inject a
+	// deterministic one to pin the bounds.
+	rnd func(n int64) int64
+}
+
+// NewBackoff returns a Backoff with the given bounds (zero values pick the
+// defaults: 500ms base, 30s cap).
+func NewBackoff(base, max time.Duration) *Backoff {
+	return &Backoff{Base: base, Max: max}
+}
+
+// Next records one more failed attempt and returns how long to wait before
+// the next try.
+func (b *Backoff) Next() time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	cap := b.Max
+	if cap <= 0 {
+		cap = 30 * time.Second
+	}
+	if base > cap {
+		base = cap
+	}
+	ceil := base
+	for i := 0; i < b.attempt && ceil < cap; i++ {
+		ceil *= 2
+		if ceil > cap || ceil <= 0 { // <= 0: duration overflow
+			ceil = cap
+		}
+	}
+	b.attempt++
+	// Full jitter over the upper half: [ceil/2, ceil]. Keeping a floor of
+	// half the ceiling preserves the exponential shape (pure [0, ceil]
+	// jitter can draw near-zero delays forever).
+	half := ceil / 2
+	rnd := b.rnd
+	if rnd == nil {
+		rnd = rand.Int63n
+	}
+	return half + time.Duration(rnd(int64(half)+1))
+}
+
+// Reset forgets the failure streak: the next Next starts from Base again.
+// Call it after any successful round trip.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempts reports how many failures the current streak has accumulated.
+func (b *Backoff) Attempts() int { return b.attempt }

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffCeilingDoublesAndCaps pins the deterministic envelope: with the
+// jitter source forced to its extremes, Next must return exactly ceil (upper
+// edge) or ceil/2 (lower edge), with the ceiling doubling from Base and
+// clamping at Max.
+func TestBackoffCeilingDoublesAndCaps(t *testing.T) {
+	upper := func(n int64) int64 { return n - 1 } // the largest value Int63n(n) can draw
+	lower := func(int64) int64 { return 0 }
+
+	b := &Backoff{Base: 100 * time.Millisecond, Max: time.Second, rnd: upper}
+	wantCeil := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, want := range wantCeil {
+		if got := b.Next(); got != want {
+			t.Fatalf("attempt %d upper edge: %v, want %v", i, got, want)
+		}
+	}
+	if b.Attempts() != len(wantCeil) {
+		t.Fatalf("attempts = %d, want %d", b.Attempts(), len(wantCeil))
+	}
+
+	b = &Backoff{Base: 100 * time.Millisecond, Max: time.Second, rnd: lower}
+	for i, ceil := range wantCeil {
+		if got, want := b.Next(), ceil/2; got != want {
+			t.Fatalf("attempt %d lower edge: %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestBackoffReset: a success resets the streak, so the next delay ceiling is
+// Base again.
+func TestBackoffReset(t *testing.T) {
+	b := &Backoff{Base: 100 * time.Millisecond, Max: time.Second, rnd: func(n int64) int64 { return n - 1 }}
+	for i := 0; i < 4; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if b.Attempts() != 0 {
+		t.Fatalf("attempts after reset = %d, want 0", b.Attempts())
+	}
+	if got := b.Next(); got != 100*time.Millisecond {
+		t.Fatalf("first delay after reset: %v, want 100ms", got)
+	}
+}
+
+// TestBackoffDefaultsAndJitterBounds: zero-valued bounds pick 500ms/30s, a
+// Base above Max clamps to Max, and with real jitter every draw stays inside
+// [ceil/2, ceil].
+func TestBackoffDefaultsAndJitterBounds(t *testing.T) {
+	b := &Backoff{rnd: func(n int64) int64 { return n - 1 }}
+	if got := b.Next(); got != 500*time.Millisecond {
+		t.Fatalf("default base: %v, want 500ms", got)
+	}
+	for i := 0; i < 20; i++ {
+		b.Next()
+	}
+	if got := b.Next(); got != 30*time.Second {
+		t.Fatalf("default cap: %v, want 30s", got)
+	}
+
+	b = &Backoff{Base: time.Minute, Max: time.Second, rnd: func(n int64) int64 { return n - 1 }}
+	if got := b.Next(); got != time.Second {
+		t.Fatalf("base above max: %v, want clamped to 1s", got)
+	}
+
+	// Real (seeded-by-default) jitter: bounds only.
+	b = NewBackoff(100*time.Millisecond, time.Second)
+	ceil := 100 * time.Millisecond
+	for i := 0; i < 10; i++ {
+		got := b.Next()
+		if got < ceil/2 || got > ceil {
+			t.Fatalf("attempt %d: %v outside [%v, %v]", i, got, ceil/2, ceil)
+		}
+		if ceil < time.Second {
+			ceil *= 2
+			if ceil > time.Second {
+				ceil = time.Second
+			}
+		}
+	}
+}

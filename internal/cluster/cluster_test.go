@@ -72,11 +72,15 @@ func (c *fakeClock) Advance(d time.Duration) {
 // the real HTTP surface (routing, strict decoding, status codes).
 func testCluster(t *testing.T, store *dal.Store, cfg Config) (*Coordinator, *httptest.Server) {
 	t.Helper()
-	c := New(store, cfg)
+	c, err := New(store, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	mux := http.NewServeMux()
 	c.Register(mux)
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
+	t.Cleanup(func() { c.Close() })
 	return c, srv
 }
 

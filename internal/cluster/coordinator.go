@@ -60,6 +60,20 @@ type Config struct {
 	// reported failed this many times (0 = 3).
 	MaxTaskFailures int
 
+	// Dir, when non-empty, makes the coordinator durable: every state
+	// transition is written ahead to Dir/wal.log and compacted into
+	// Dir/state.ohms, and New replays both so a restarted coordinator
+	// resumes every running job (see wal.go). Empty keeps the pre-WAL
+	// in-memory coordinator.
+	Dir string
+	// FlushEvery is the background WAL fsync/probe period (0 = 250ms).
+	FlushEvery time.Duration
+	// WALWrap, when set, wraps the WAL's file writer — the fault-injection
+	// seam (internal/faultinject) used by the chaos suite to tear, fill, or
+	// kill the log mid-record. The wrapper must not call back into the
+	// coordinator: it runs under the coordinator's locks.
+	WALWrap func(w io.Writer) io.Writer
+
 	// now is the test clock (nil = time.Now); lease-expiry tests advance it
 	// instead of sleeping.
 	now func() time.Time
@@ -86,6 +100,12 @@ func (c Config) withDefaults() Config {
 
 // errJobExists marks a StartJob id collision (409 on the HTTP surface).
 var errJobExists = errors.New("job already exists")
+
+// errDegraded marks work refused because the WAL cannot currently make it
+// durable (503 + Retry-After on the HTTP surface). The condition is
+// self-healing: the flusher probes the log and admission resumes the moment
+// a record lands again.
+var errDegraded = errors.New("coordinator degraded: cluster state cannot be made durable")
 
 // task states of the lease machine.
 const (
@@ -148,6 +168,10 @@ type Coordinator struct {
 	store   *dal.Store
 	graphFP uint64
 	cfg     Config
+	// wal is the durable log (nil for the volatile, Dir-less coordinator).
+	// Set once in New before the coordinator is shared; the wal has its own
+	// internal lock.
+	wal *wal
 
 	mu      sync.Mutex
 	jobs    map[string]*clusterJob // guarded by mu
@@ -161,14 +185,23 @@ type Coordinator struct {
 	reassigned expvar.Int // leases reclaimed from expired workers
 	spills     expvar.Int // remainder tasks enqueued from partial reports
 	jobsDone   expvar.Int
-	vars       *expvar.Map
+
+	replayedJobs      expvar.Int // jobs restored from snapshot+WAL at startup
+	resurrectedLeases expvar.Int // leases force-expired back to the queue at startup
+	degradedRejects   expvar.Int // requests shed with 503 while the WAL was failing
+	vars              *expvar.Map
 }
 
 // New creates a coordinator over the store every worker must hold an
-// identical copy of (verified by fingerprint on each lease request). The
-// first Coordinator in a process publishes its metrics under the global
-// expvar name "ohmcluster".
-func New(store *dal.Store, cfg Config) *Coordinator {
+// identical copy of (verified by fingerprint on each lease request). With
+// cfg.Dir set it first replays the durable state found there — restored
+// running jobs have every lease force-expired (epochs preserved, so
+// pre-crash zombie reports are fenced or salvaged exactly as live expiries
+// are). The error is non-nil only when the durable state exists but cannot
+// be trusted (ErrCorrupt) or the directory is unusable. The first
+// Coordinator in a process publishes its metrics under the global expvar
+// name "ohmcluster".
+func New(store *dal.Store, cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		store:   store,
 		graphFP: store.Hypergraph().Fingerprint(),
@@ -183,9 +216,69 @@ func New(store *dal.Store, cfg Config) *Coordinator {
 	m.Set("reassigned", &c.reassigned)
 	m.Set("spills", &c.spills)
 	m.Set("jobs_done", &c.jobsDone)
+	m.Set("replayed_jobs", &c.replayedJobs)
+	m.Set("resurrected_leases", &c.resurrectedLeases)
+	m.Set("degraded_rejects", &c.degradedRejects)
+	m.Set("wal_records", expvar.Func(func() any { r, _, _ := c.walStats(); return r }))
+	m.Set("wal_bytes", expvar.Func(func() any { _, b, _ := c.walStats(); return b }))
+	m.Set("wal_compactions", expvar.Func(func() any { _, _, n := c.walStats(); return n }))
 	c.vars = m
+	if c.cfg.Dir != "" {
+		if err := c.recover(); err != nil {
+			return nil, err
+		}
+	}
 	publish(m)
-	return c
+	return c, nil
+}
+
+func (c *Coordinator) walStats() (records, bytes, compactions int64) {
+	if c.wal == nil {
+		return 0, 0, 0
+	}
+	return c.wal.stats()
+}
+
+// Close releases the durable-state resources: the WAL flusher goroutine and
+// file. The volatile coordinator has nothing to release. Safe to call once;
+// in-flight handlers fail their appends afterwards and shed.
+func (c *Coordinator) Close() error {
+	if c.wal == nil {
+		return nil
+	}
+	return c.wal.close()
+}
+
+// Degraded reports whether the coordinator is currently refusing new work
+// because its WAL cannot persist it (always false for the volatile
+// coordinator, which promises no durability).
+func (c *Coordinator) Degraded() bool {
+	return c.wal != nil && c.wal.degraded() != nil
+}
+
+// degradedErr returns the errDegraded-wrapped shed cause, or nil when the
+// coordinator can make state durable.
+func (c *Coordinator) degradedErr() error {
+	if c.wal == nil {
+		return nil
+	}
+	if err := c.wal.degraded(); err != nil {
+		return fmt.Errorf("%w: %v", errDegraded, err)
+	}
+	return nil
+}
+
+// RejectDegraded sheds one HTTP request with 503 + Retry-After and counts
+// it; serve's /query and /jobs handlers use it so no layer accepts work the
+// coordinator cannot make durable.
+func (c *Coordinator) RejectDegraded(w http.ResponseWriter, err error) {
+	c.degradedRejects.Add(1)
+	w.Header().Set("Retry-After", "1")
+	msg := errDegraded.Error() + "; retry shortly"
+	if err != nil {
+		msg = err.Error() + "; retry shortly"
+	}
+	reject(w, http.StatusServiceUnavailable, msg)
 }
 
 var publishMu sync.Mutex
@@ -212,56 +305,52 @@ func (c *Coordinator) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /cluster/report", c.handleReport)
 }
 
-// StartJob compiles, partitions, and enqueues a distributed job. An empty id
-// picks a unique one. The candidate space of the first pattern hyperedge is
-// split into the configured number of contiguous ranges, each an
-// independently leasable task.
-func (c *Coordinator) StartJob(id string, spec JobSpec) (JobStatus, error) {
+// compileSpec turns a job spec into its plan and options. Deterministic over
+// an identical store, which is what lets WAL replay rebuild a job's plan and
+// task partition from its admit record alone.
+func (c *Coordinator) compileSpec(spec JobSpec) (*oig.Plan, engine.Options, error) {
 	p, err := pattern.Parse(spec.Pattern)
 	if err != nil {
-		return JobStatus{}, fmt.Errorf("bad pattern: %w", err)
+		return nil, engine.Options{}, fmt.Errorf("bad pattern: %w", err)
 	}
 	var opts engine.Options
 	if spec.Variant != "" {
 		v, err := engine.VariantByName(spec.Variant)
 		if err != nil {
-			return JobStatus{}, err
+			return nil, engine.Options{}, err
 		}
 		opts.Gen, opts.Val = v.Gen, v.Val
 	}
 	opts.DataAwareOrder = spec.DataAwareOrder
 	plan, err := engine.CompilePlan(c.store, p, opts)
 	if err != nil {
-		return JobStatus{}, err
+		return nil, engine.Options{}, err
 	}
 	// Mirror the engine's preflight checks so a label mismatch fails the
 	// job at creation, not on every worker.
 	if plan.Labeled && !c.store.Hypergraph().Labeled() {
-		return JobStatus{}, errors.New("labeled pattern on unlabeled hypergraph")
+		return nil, engine.Options{}, errors.New("labeled pattern on unlabeled hypergraph")
 	}
 	if plan.Pattern.EdgeLabeled() && !c.store.Hypergraph().EdgeLabeled() {
-		return JobStatus{}, errors.New("hyperedge-labeled pattern on hypergraph without hyperedge labels")
+		return nil, engine.Options{}, errors.New("hyperedge-labeled pattern on hypergraph without hyperedge labels")
+	}
+	return plan, opts, nil
+}
+
+// buildJob compiles and partitions a job (id is filled in by the caller).
+// Only the store is read; no coordinator state is touched.
+func (c *Coordinator) buildJob(spec JobSpec) (*clusterJob, error) {
+	plan, opts, err := c.compileSpec(spec)
+	if err != nil {
+		return nil, err
 	}
 	parts := spec.Parts
 	if parts <= 0 {
 		parts = c.cfg.Parts
 	}
 	frontier := engine.PartitionFrontier(engine.FirstCandidates(c.store, plan, opts), parts)
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if id == "" {
-		c.jobSeq++
-		id = fmt.Sprintf("cjob-%d", c.jobSeq)
-	}
-	if !validJobID(id) {
-		return JobStatus{}, errors.New("bad job id: need 1-64 chars of [A-Za-z0-9_-]")
-	}
-	if _, ok := c.jobs[id]; ok {
-		return JobStatus{}, fmt.Errorf("job %q: %w", id, errJobExists)
-	}
 	j := &clusterJob{
-		id: id, spec: spec, plan: plan, opts: opts,
+		spec: spec, plan: plan, opts: opts,
 		planFP:  engine.PlanFingerprint(plan),
 		state:   "running",
 		created: c.cfg.now(),
@@ -277,10 +366,50 @@ func (c *Coordinator) StartJob(id string, spec JobSpec) (JobStatus, error) {
 	if len(frontier) == 0 {
 		// No first-step candidates: the job is trivially complete.
 		j.state = "done"
-		c.jobsDone.Add(1)
 	}
+	return j, nil
+}
+
+// StartJob compiles, partitions, and enqueues a distributed job. An empty id
+// picks a unique one. The candidate space of the first pattern hyperedge is
+// split into the configured number of contiguous ranges, each an
+// independently leasable task. On a durable coordinator the admission is
+// WAL-logged and fsync'd before it is acknowledged; while the WAL is failing
+// the job is refused with errDegraded instead.
+func (c *Coordinator) StartJob(id string, spec JobSpec) (JobStatus, error) {
+	j, err := c.buildJob(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id == "" {
+		c.jobSeq++
+		id = fmt.Sprintf("cjob-%d", c.jobSeq)
+	}
+	if !validJobID(id) {
+		return JobStatus{}, errors.New("bad job id: need 1-64 chars of [A-Za-z0-9_-]")
+	}
+	if _, ok := c.jobs[id]; ok {
+		return JobStatus{}, fmt.Errorf("job %q: %w", id, errJobExists)
+	}
+	if c.wal != nil {
+		if err := c.degradedErr(); err != nil {
+			return JobStatus{}, err
+		}
+		rec := &walRecord{T: recAdmit, Job: id, Spec: &spec, GraphFP: c.graphFP, JobSeq: c.jobSeq}
+		if _, err := c.wal.append(rec, true); err != nil {
+			return JobStatus{}, fmt.Errorf("%w: %v", errDegraded, err)
+		}
+	}
+	j.id = id
 	c.jobs[id] = j
 	c.order = append(c.order, id)
+	if j.state == "done" {
+		c.jobsDone.Add(1)
+		c.logFinishLocked(j)
+	}
 	return c.jobStatusLocked(j, false), nil
 }
 
@@ -311,6 +440,15 @@ func (c *Coordinator) Status() ClusterStatus {
 		Fenced:     c.fenced.Value(),
 		Reassigned: c.reassigned.Value(),
 		Spills:     c.spills.Value(),
+
+		Durable:           c.wal != nil,
+		ReplayedJobs:      c.replayedJobs.Value(),
+		ResurrectedLeases: c.resurrectedLeases.Value(),
+		DegradedRejects:   c.degradedRejects.Value(),
+	}
+	if c.wal != nil {
+		st.Degraded = c.wal.degraded() != nil
+		st.WALRecords, st.WALBytes, st.WALCompactions = c.wal.stats()
 	}
 	for _, id := range c.order {
 		st.Jobs = append(st.Jobs, c.jobStatusLocked(c.jobs[id], false))
@@ -333,12 +471,19 @@ func (c *Coordinator) Status() ClusterStatus {
 }
 
 func (c *Coordinator) jobStatusLocked(j *clusterJob, withTasks bool) JobStatus {
+	// A job restored from the WAL whose spec no longer compiles (or whose
+	// dataset changed) carries no plan; it is always failed, and reports
+	// raw counts.
+	auto := 1
+	if j.plan != nil {
+		auto = j.plan.Pattern.Automorphisms()
+	}
 	st := JobStatus{
 		ID: j.id, State: j.state,
 		Parts:         len(j.tasks),
 		Done:          j.doneN,
 		Ordered:       j.ordered,
-		Automorphisms: j.plan.Pattern.Automorphisms(),
+		Automorphisms: auto,
 		Reassigned:    j.reassign,
 		Fenced:        j.fenced,
 		Spilled:       j.spilled,
@@ -409,23 +554,21 @@ func (c *Coordinator) touchWorkerLocked(name string) *workerInfo {
 }
 
 // grantLocked pops the next pending task across jobs (creation order) and
-// leases it to worker. It returns nil when no work is available.
-func (c *Coordinator) grantLocked(worker string) *Lease {
+// leases it to worker. It returns (nil, nil) when no work is available. On a
+// durable coordinator the grant record (with its fencing epoch) is fsync'd
+// before the lease leaves the process — an epoch must never be re-issued
+// after a crash while a pre-crash worker still holds it.
+func (c *Coordinator) grantLocked(worker string) (*Lease, error) {
 	for _, id := range c.order {
 		j := c.jobs[id]
 		if j.state != "running" || len(j.queue) == 0 {
 			continue
 		}
 		idx := j.queue[0]
-		j.queue = j.queue[1:]
 		t := j.tasks[idx]
-		t.epoch++
-		t.state = taskLeased
-		t.worker = worker
-		t.expires = c.cfg.now().Add(c.cfg.LeaseTTL)
 
 		snap := &checkpoint.Snapshot{
-			Seq:      t.epoch,
+			Seq:      t.epoch + 1,
 			PlanFP:   j.planFP,
 			GraphFP:  c.graphFP,
 			Frontier: t.frontier,
@@ -434,10 +577,20 @@ func (c *Coordinator) grantLocked(worker string) *Lease {
 		if err := snap.Encode(&buf); err != nil {
 			// Encoding to memory cannot fail for a well-formed snapshot;
 			// refuse the grant rather than leasing garbage.
-			t.state = taskPending
-			j.queue = append(j.queue, idx)
-			return nil
+			j.queue = append(j.queue[1:], idx)
+			return nil, nil
 		}
+		if c.wal != nil {
+			rec := &walRecord{T: recGrant, Job: j.id, Task: idx, Epoch: t.epoch + 1, Worker: worker}
+			if _, err := c.wal.append(rec, true); err != nil {
+				return nil, fmt.Errorf("%w: %v", errDegraded, err)
+			}
+		}
+		j.queue = j.queue[1:]
+		t.epoch++
+		t.state = taskLeased
+		t.worker = worker
+		t.expires = c.cfg.now().Add(c.cfg.LeaseTTL)
 		c.touchWorkerLocked(worker).leased++
 		c.leases.Add(1)
 		return &Lease{
@@ -448,9 +601,9 @@ func (c *Coordinator) grantLocked(worker string) *Lease {
 			Snapshot:       buf.Bytes(),
 			HeartbeatMS:    c.cfg.HeartbeatEvery.Milliseconds(),
 			TTLMS:          c.cfg.LeaseTTL.Milliseconds(),
-		}
+		}, nil
 	}
-	return nil
+	return nil, nil
 }
 
 // lookupLocked resolves a (job, task, epoch, worker) tuple to its lease when
@@ -508,7 +661,10 @@ func (c *Coordinator) Heartbeat(hb HeartbeatRequest) error {
 // the task's current epoch and holder — a reassigned (or completed) task
 // refuses the report, so every task's counters are merged exactly once. A
 // report may arrive for a lease that expired but was not yet re-granted;
-// the epoch still matches, so the work is salvaged rather than redone.
+// the epoch still matches, so the work is salvaged rather than redone. On a
+// durable coordinator the accepted report is WAL-logged and fsync'd before
+// the merge is acknowledged; fenced reports are never logged (the fence is
+// re-derived from grant epochs on replay).
 func (c *Coordinator) ReportTask(rep Report) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -522,6 +678,26 @@ func (c *Coordinator) ReportTask(rep Report) error {
 		c.fenced.Add(1)
 		return err
 	}
+	if c.wal != nil {
+		if err := c.degradedErr(); err != nil {
+			return err
+		}
+		if _, err := c.wal.append(&walRecord{T: recReport, Report: &rep}, true); err != nil {
+			return fmt.Errorf("%w: %v", errDegraded, err)
+		}
+	}
+	wasRunning := j.state == "running"
+	c.applyReportLocked(j, t, rep, true)
+	if wasRunning && j.state != "running" {
+		c.logFinishLocked(j)
+	}
+	return nil
+}
+
+// applyReportLocked merges one fence-checked report into its job — the
+// single code path shared by the live handler and WAL replay (live gates the
+// process-lifetime expvar counters; job-level counters always move).
+func (c *Coordinator) applyReportLocked(j *clusterJob, t *taskLease, rep Report, live bool) {
 	wasLeased := t.state == taskLeased
 	if t.state == taskPending {
 		// Expired but unclaimed: accept, and drop the queue entry.
@@ -549,7 +725,7 @@ func (c *Coordinator) ReportTask(rep Report) error {
 			j.errMsg = fmt.Sprintf("task %d failed %d times, last: %s", rep.Task, t.failures, rep.Error)
 			j.elapsed = c.cfg.now().Sub(j.created)
 		}
-		return nil
+		return
 	}
 
 	t.state = taskDone
@@ -569,7 +745,7 @@ func (c *Coordinator) ReportTask(rep Report) error {
 			j.state = "failed"
 			j.errMsg = fmt.Sprintf("task %d spilled an unusable remainder: %v", rep.Task, derr)
 			j.elapsed = c.cfg.now().Sub(j.created)
-			return nil
+			return
 		}
 		cands := 0
 		for i := range snap.Frontier {
@@ -583,16 +759,337 @@ func (c *Coordinator) ReportTask(rep Report) error {
 		})
 		j.queue = append(j.queue, len(j.tasks)-1)
 		j.spilled++
-		c.spills.Add(1)
+		if live {
+			c.spills.Add(1)
+		}
 	}
 
-	c.reports.Add(1)
+	if live {
+		c.reports.Add(1)
+	}
 	if j.doneN == len(j.tasks) && len(j.queue) == 0 && j.state == "running" {
 		j.state = "done"
 		j.elapsed = c.cfg.now().Sub(j.created)
-		c.jobsDone.Add(1)
+		if live {
+			c.jobsDone.Add(1)
+		}
 	}
+}
+
+// logFinishLocked records a job's terminal state and compacts the WAL: a
+// finished job's task frontiers collapse into a few counters, so completion
+// is the natural truncation point. Finish records never gate an external
+// ack — replay re-derives the terminal state from the merged reports anyway
+// — so a degraded append is simply skipped.
+func (c *Coordinator) logFinishLocked(j *clusterJob) {
+	if c.wal == nil {
+		return
+	}
+	rec := &walRecord{T: recFinish, Job: j.id, State: j.state, Err: j.errMsg, Elapsed: int64(j.elapsed)}
+	if _, err := c.wal.append(rec, false); err != nil {
+		return
+	}
+	c.compactLocked()
+}
+
+// compactLocked folds the full in-memory state into the snapshot file and
+// truncates the log. Failures degrade the WAL (and are retried at the next
+// completion) rather than surfacing: compaction is an optimization, not a
+// correctness step.
+func (c *Coordinator) compactLocked() {
+	if c.wal == nil {
+		return
+	}
+	st, err := c.encodeStateLocked()
+	if err != nil {
+		return
+	}
+	_ = c.wal.compactTo(st)
+}
+
+// --- Durable state: recovery, replay, snapshot encoding ------------------
+
+// recover opens cfg.Dir, replays snapshot + WAL into the coordinator, and
+// brings every restored running job back to a leasable state: all leases
+// are force-expired (their epochs preserved), so a pre-crash worker's late
+// report is salvaged or fenced by exactly the rules a live expiry applies.
+// The WAL is compacted immediately after replay — a crash loop must not
+// replay an ever-growing log — and the background flusher is started last.
+func (c *Coordinator) recover() error {
+	w, state, recs, err := openWAL(c.cfg.Dir, c.cfg.WALWrap)
+	if err != nil {
+		return err
+	}
+	c.wal = w
+
+	c.mu.Lock()
+	if state != nil {
+		c.restoreStateLocked(state)
+	}
+	for i := range recs {
+		if state != nil && recs[i].Seq <= state.LastSeq {
+			continue // already folded into the snapshot
+		}
+		if recs[i].T == recProbe {
+			continue
+		}
+		c.replayRecordLocked(&recs[i])
+	}
+	resurrected := c.forceExpireLocked()
+	replayed := len(c.jobs)
+	if state != nil || len(recs) > 0 {
+		c.compactLocked()
+	}
+	c.mu.Unlock()
+
+	c.replayedJobs.Add(int64(replayed))
+	c.resurrectedLeases.Add(int64(resurrected))
+	w.start(c.cfg.FlushEvery)
 	return nil
+}
+
+// failJobLocked marks j failed with a replay-diagnosed cause (no-op once
+// terminal).
+func (c *Coordinator) failJobLocked(j *clusterJob, msg string) {
+	if j.state != "running" {
+		return
+	}
+	j.state = "failed"
+	j.errMsg = msg
+	j.elapsed = c.cfg.now().Sub(j.created)
+}
+
+// insertReplayedJobLocked registers a job rebuilt during recovery.
+func (c *Coordinator) insertReplayedJobLocked(id string, j *clusterJob) {
+	j.id = id
+	c.jobs[id] = j
+	c.order = append(c.order, id)
+}
+
+// replayRecordLocked applies one WAL record. Replay is lenient per job and
+// strict per cluster: a record that no longer makes sense (spec stopped
+// compiling, dataset changed, task index out of range) fails that job loudly
+// rather than silently undercounting, but never aborts startup — the other
+// jobs' durability must not be hostage to one bad one.
+func (c *Coordinator) replayRecordLocked(rec *walRecord) {
+	switch rec.T {
+	case recAdmit:
+		if rec.JobSeq > c.jobSeq {
+			c.jobSeq = rec.JobSeq
+		}
+		if _, ok := c.jobs[rec.Job]; ok {
+			return // duplicate admit (compaction race); first one wins
+		}
+		if rec.Spec == nil {
+			return
+		}
+		if rec.GraphFP != c.graphFP {
+			j := &clusterJob{spec: *rec.Spec, state: "running", created: c.cfg.now()}
+			c.failJobLocked(j, fmt.Sprintf("replay: job was admitted against dataset %#x, coordinator now serves %#x", rec.GraphFP, c.graphFP))
+			c.insertReplayedJobLocked(rec.Job, j)
+			return
+		}
+		j, err := c.buildJob(*rec.Spec)
+		if err != nil {
+			j = &clusterJob{spec: *rec.Spec, state: "running", created: c.cfg.now()}
+			c.failJobLocked(j, "replay: job spec no longer compiles: "+err.Error())
+		}
+		c.insertReplayedJobLocked(rec.Job, j)
+
+	case recGrant:
+		j := c.jobs[rec.Job]
+		if j == nil || j.state != "running" {
+			return
+		}
+		if rec.Task < 0 || rec.Task >= len(j.tasks) {
+			c.failJobLocked(j, fmt.Sprintf("replay: grant names task %d of %d", rec.Task, len(j.tasks)))
+			return
+		}
+		for qi, idx := range j.queue {
+			if idx == rec.Task {
+				j.queue = append(j.queue[:qi], j.queue[qi+1:]...)
+				break
+			}
+		}
+		t := j.tasks[rec.Task]
+		t.state = taskLeased
+		t.epoch = rec.Epoch
+		t.worker = rec.Worker
+		// expires stays zero: forceExpireLocked reclaims it either way.
+
+	case recReport:
+		if rec.Report == nil {
+			return
+		}
+		rep := *rec.Report
+		j, t, err := c.lookupLocked(rep.Job, rep.Task, rep.Epoch, rep.Worker)
+		if err != nil {
+			// An exact duplicate of an already-applied report can exist on
+			// disk (an fsync failed after the write, the merge was acked,
+			// and the worker's retry logged it again): skip it. Anything
+			// else is a real inconsistency — fail the job loudly.
+			if j != nil && rep.Task >= 0 && rep.Task < len(j.tasks) {
+				d := j.tasks[rep.Task]
+				if d.state == taskDone && d.epoch == rep.Epoch && d.worker == rep.Worker {
+					return
+				}
+			}
+			if j != nil {
+				c.failJobLocked(j, "replay: report does not match granted lease: "+err.Error())
+			}
+			return
+		}
+		c.applyReportLocked(j, t, rep, false)
+
+	case recFinish:
+		j := c.jobs[rec.Job]
+		if j == nil {
+			return
+		}
+		if rec.State == "done" || rec.State == "failed" {
+			j.state = rec.State
+			j.errMsg = rec.Err
+			j.elapsed = time.Duration(rec.Elapsed)
+		}
+	}
+}
+
+// forceExpireLocked reclaims every leased task after replay: the workers
+// holding them may be gone (and their heartbeats certainly are). Epochs are
+// preserved, so a surviving worker's in-flight report is salvaged via the
+// expired-but-unclaimed path, and a re-grant bumps the epoch to fence it —
+// identical semantics to a live TTL expiry. Returns the number reclaimed.
+func (c *Coordinator) forceExpireLocked() int {
+	n := 0
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.state != "running" {
+			continue
+		}
+		for i := len(j.tasks) - 1; i >= 0; i-- {
+			t := j.tasks[i]
+			if t.state == taskLeased {
+				t.state = taskPending
+				j.queue = append([]int{i}, j.queue...)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// restoreStateLocked rebuilds the coordinator from a compacted snapshot.
+// Plans are recompiled from each job's spec (deterministic over the same
+// store); task frontiers are validated against the recompiled plan before
+// they become leasable again.
+func (c *Coordinator) restoreStateLocked(st *walState) {
+	c.jobSeq = st.JobSeq
+	for i := range st.Jobs {
+		wj := &st.Jobs[i]
+		j := &clusterJob{
+			spec:     wj.Spec,
+			state:    wj.State,
+			errMsg:   wj.Err,
+			ordered:  wj.Ordered,
+			stats:    engine.UnpackStats(wj.Stats),
+			created:  time.Unix(0, wj.CreatedNS),
+			elapsed:  time.Duration(wj.ElapsedNS),
+			reassign: wj.Reassign,
+			fenced:   wj.Fenced,
+			spilled:  wj.Spilled,
+			failures: wj.Failures,
+		}
+		plan, opts, err := c.compileSpec(wj.Spec)
+		switch {
+		case st.GraphFP != c.graphFP:
+			c.failJobLocked(j, fmt.Sprintf("replay: snapshot is for dataset %#x, coordinator now serves %#x", st.GraphFP, c.graphFP))
+		case err != nil:
+			c.failJobLocked(j, "replay: job spec no longer compiles: "+err.Error())
+		default:
+			j.plan, j.opts, j.planFP = plan, opts, engine.PlanFingerprint(plan)
+		}
+		for ti := range wj.Tasks {
+			wt := &wj.Tasks[ti]
+			t := &taskLease{
+				state:    wt.State,
+				epoch:    wt.Epoch,
+				worker:   wt.Worker,
+				ordered:  wt.Ordered,
+				failures: wt.Failures,
+				spilled:  wt.Spilled,
+				cands:    wt.Cands,
+			}
+			if t.state == taskDone {
+				j.doneN++
+			}
+			if len(wt.Frontier) > 0 && j.plan != nil {
+				snap, derr := checkpoint.Unmarshal(wt.Frontier)
+				if derr == nil {
+					derr = engine.ValidateSnapshot(c.store, j.plan, snap)
+				}
+				if derr != nil {
+					c.failJobLocked(j, fmt.Sprintf("replay: task %d frontier unusable: %v", ti, derr))
+				} else {
+					t.frontier = snap.Frontier
+				}
+			}
+			j.tasks = append(j.tasks, t)
+		}
+		j.queue = append(j.queue, wj.Queue...)
+		c.insertReplayedJobLocked(wj.ID, j)
+	}
+}
+
+// encodeStateLocked captures the full coordinator state as a snapshot.
+// Frontiers are only carried for tasks that can still be leased; a done
+// task's work already lives in the merged counters.
+func (c *Coordinator) encodeStateLocked() (*walState, error) {
+	st := &walState{GraphFP: c.graphFP, JobSeq: c.jobSeq, LastSeq: c.wal.lastSeq()}
+	for _, id := range c.order {
+		j := c.jobs[id]
+		wj := walJob{
+			ID:        j.id,
+			Spec:      j.spec,
+			State:     j.state,
+			Err:       j.errMsg,
+			Ordered:   j.ordered,
+			Stats:     engine.PackStats(j.stats),
+			CreatedNS: j.created.UnixNano(),
+			ElapsedNS: int64(j.elapsed),
+			Queue:     append([]int(nil), j.queue...),
+			Reassign:  j.reassign,
+			Fenced:    j.fenced,
+			Spilled:   j.spilled,
+			Failures:  j.failures,
+		}
+		for ti, t := range j.tasks {
+			wt := walTask{
+				State:    t.state,
+				Epoch:    t.epoch,
+				Worker:   t.worker,
+				Ordered:  t.ordered,
+				Failures: t.failures,
+				Spilled:  t.spilled,
+				Cands:    t.cands,
+			}
+			if j.state == "running" && t.state != taskDone && len(t.frontier) > 0 {
+				snap := &checkpoint.Snapshot{
+					Seq:      t.epoch,
+					PlanFP:   j.planFP,
+					GraphFP:  c.graphFP,
+					Frontier: t.frontier,
+				}
+				b, err := snap.Marshal()
+				if err != nil {
+					return nil, fmt.Errorf("job %q task %d: %w", j.id, ti, err)
+				}
+				wt.Frontier = b
+			}
+			wj.Tasks = append(wj.Tasks, wt)
+		}
+		st.Jobs = append(st.Jobs, wj)
+	}
+	return st, nil
 }
 
 // --- HTTP handlers -------------------------------------------------------
@@ -661,6 +1158,10 @@ func (c *Coordinator) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := c.StartJob(req.ID, req.JobSpec)
 	if err != nil {
+		if errors.Is(err, errDegraded) {
+			c.RejectDegraded(w, err)
+			return
+		}
 		code := http.StatusBadRequest
 		if errors.Is(err, errJobExists) {
 			code = http.StatusConflict
@@ -699,8 +1200,12 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	c.sweepLocked()
 	c.touchWorkerLocked(req.Worker)
-	lease := c.grantLocked(req.Worker)
+	lease, err := c.grantLocked(req.Worker)
 	c.mu.Unlock()
+	if err != nil {
+		c.RejectDegraded(w, err)
+		return
+	}
 	if lease == nil {
 		w.WriteHeader(http.StatusNoContent)
 		return
@@ -728,6 +1233,10 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := c.ReportTask(req); err != nil {
+		if errors.Is(err, errDegraded) {
+			c.RejectDegraded(w, err)
+			return
+		}
 		reject(w, http.StatusGone, err.Error())
 		return
 	}

@@ -164,6 +164,19 @@ type ClusterStatus struct {
 	Fenced     int64 `json:"fenced"`
 	Reassigned int64 `json:"reassigned"`
 	Spills     int64 `json:"spills"`
+
+	// Durability & recovery observability (see docs/DISTRIBUTED.md,
+	// "Coordinator durability & recovery"). Durable is true when the
+	// coordinator runs with a WAL (-cluster-dir); Degraded means it is
+	// currently shedding work because the WAL cannot persist it.
+	Durable           bool  `json:"durable"`
+	Degraded          bool  `json:"degraded,omitempty"`
+	WALRecords        int64 `json:"wal_records,omitempty"`
+	WALBytes          int64 `json:"wal_bytes,omitempty"`
+	WALCompactions    int64 `json:"wal_compactions,omitempty"`
+	ReplayedJobs      int64 `json:"replayed_jobs,omitempty"`
+	ResurrectedLeases int64 `json:"resurrected_leases,omitempty"`
+	DegradedRejects   int64 `json:"degraded_rejects,omitempty"`
 }
 
 type errorResponse struct {

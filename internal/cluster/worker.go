@@ -31,8 +31,18 @@ type WorkerConfig struct {
 	// Tests inject a faultinject.PartitionTransport here.
 	Client *http.Client
 	// Poll is how long to wait between lease requests when the coordinator
-	// has no work (0 = 500ms).
+	// has no work (0 = 500ms). It also seeds the error backoff: the first
+	// retry after a transient failure waits about one Poll, then doubles.
 	Poll time.Duration
+	// RequestTimeout bounds every protocol round trip (0 = 5s, negative =
+	// none). Without it a hung coordinator socket would stall the heartbeat
+	// loop past the lease TTL and forfeit the lease; heartbeats additionally
+	// cap the timeout at their own period so one stuck renewal can never
+	// swallow the next.
+	RequestTimeout time.Duration
+	// MaxBackoff caps the jittered exponential backoff applied to
+	// transient lease/report errors (0 = 30s).
+	MaxBackoff time.Duration
 	// Engine carries local execution knobs — Workers, Kernel, SplitDepth,
 	// Instrument. Plan-shaping options (Gen/Val/DataAwareOrder) are
 	// overridden per lease from the coordinator's job spec so every node
@@ -75,6 +85,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Poll <= 0 {
 		cfg.Poll = 500 * time.Millisecond
 	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -101,6 +117,11 @@ func (w *Worker) Fenced() uint64 { return w.fenced.Load() }
 // Run returns) or a non-retryable protocol error occurs. The context error
 // is returned on cancellation so callers can distinguish a clean drain.
 func (w *Worker) Run(ctx context.Context) error {
+	// One backoff for the whole loop: consecutive transient failures
+	// (coordinator restarting or degraded, network blip) stretch the retry
+	// interval exponentially with jitter, and any successful round trip
+	// resets it. This also covers the startup "coordinator not up yet" case.
+	bo := NewBackoff(w.cfg.Poll, w.cfg.MaxBackoff)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -115,11 +136,12 @@ func (w *Worker) Run(ctx context.Context) error {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			// Transient (coordinator restarting, network blip): back off.
-			w.cfg.Logf("lease error: %v", err)
-			sleepCtx(ctx, w.cfg.Poll)
+			d := bo.Next()
+			w.cfg.Logf("lease error (retry in %v): %v", d.Round(time.Millisecond), err)
+			sleepCtx(ctx, d)
 			continue
 		}
+		bo.Reset()
 		if lease == nil {
 			sleepCtx(ctx, w.cfg.Poll)
 			continue
@@ -252,9 +274,14 @@ func (w *Worker) heartbeatLoop(ctx context.Context, lease *Lease, cancel context
 			return
 		case <-ticker.C:
 		}
-		err := w.post(ctx, "/cluster/heartbeat", HeartbeatRequest{
+		// Cap each renewal at its own period on top of the global request
+		// timeout: if one heartbeat hangs, the next still fires on schedule
+		// instead of queueing behind it until the TTL is forfeit.
+		hbCtx, hbCancel := context.WithTimeout(ctx, period)
+		err := w.post(hbCtx, "/cluster/heartbeat", HeartbeatRequest{
 			Worker: w.cfg.Name, Job: lease.Job, Task: lease.Task, Epoch: lease.Epoch,
 		}, nil)
+		hbCancel()
 		var pe *protocolError
 		if errors.As(err, &pe) && pe.code == http.StatusGone {
 			cancel(errLeaseLost)
@@ -276,13 +303,36 @@ func (w *Worker) requestLease(ctx context.Context) (*Lease, error) {
 	return &lease, nil
 }
 
-// sendReport posts the task outcome on its own short deadline, detached from
-// the run context, so a graceful shutdown still delivers the final partial
-// report after Run's context is already cancelled.
+// reportAttempts bounds sendReport's retry loop: the mined result is worth a
+// few tries (a restarting or briefly degraded coordinator heals in seconds),
+// but not an unbounded wait — past that the lease expires and the task is
+// remined, which is correct, just wasted work.
+const reportAttempts = 5
+
+// sendReport posts the task outcome, detached from the run context so a
+// graceful shutdown still delivers the final partial report after Run's
+// context is already cancelled. Transport failures and 503 (coordinator
+// degraded or mid-restart) are retried with jittered backoff; any other
+// protocol verdict (410 fence, 4xx) is final.
 func (w *Worker) sendReport(rep Report) error {
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	return w.post(ctx, "/cluster/report", rep, nil)
+	bo := NewBackoff(w.cfg.Poll, 5*time.Second)
+	var err error
+	for attempt := 0; attempt < reportAttempts; attempt++ {
+		if attempt > 0 {
+			d := bo.Next()
+			w.cfg.Logf("report retry in %v job=%s task=%d: %v", d.Round(time.Millisecond), rep.Job, rep.Task, err)
+			time.Sleep(d)
+		}
+		err = w.post(context.Background(), "/cluster/report", rep, nil)
+		if err == nil {
+			return nil
+		}
+		var pe *protocolError
+		if errors.As(err, &pe) && pe.code != http.StatusServiceUnavailable {
+			return err
+		}
+	}
+	return err
 }
 
 // protocolError is a non-2xx coordinator response.
@@ -301,8 +351,15 @@ func (w *Worker) post(ctx context.Context, path string, body, out any) error {
 }
 
 // postStatus posts body as JSON and decodes a 2xx response into out (when
-// non-nil). It returns (false, nil) on 204 No Content.
+// non-nil). It returns (false, nil) on 204 No Content. Every request gets
+// the per-request deadline from RequestTimeout — a hung coordinator socket
+// must surface as an error, not an indefinite stall.
 func (w *Worker) postStatus(ctx context.Context, path string, body, out any) (bool, error) {
+	if w.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, w.cfg.RequestTimeout)
+		defer cancel()
+	}
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return false, err

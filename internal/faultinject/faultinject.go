@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net/http"
 	"os"
 	"sync"
@@ -235,3 +236,121 @@ func (ns *NoSpaceSink) WriteSnapshot(*checkpoint.Snapshot) (int64, error) {
 
 // Attempts reports how many writes were refused.
 func (ns *NoSpaceSink) Attempts() uint64 { return ns.writes.Load() }
+
+// --- io.Writer fault points (the coordinator WAL seam) -------------------
+//
+// The cluster coordinator's WAL issues exactly one Write per record frame,
+// so these writers count records, not bytes: "After: 3" means the fault
+// fires around the 3rd logged state transition. They plug into
+// cluster.Config.WALWrap. The OnCrash/Break hooks run under the
+// coordinator's internal locks — they must only signal (close a channel,
+// set a flag), never call back into the coordinator.
+
+// ErrKilled is the failure CrashWriter reports after its crash point.
+var ErrKilled = errors.New("faultinject: process killed")
+
+// CrashWriter models a SIGKILL between two WAL records: the first After
+// writes pass through (and the After-th fires OnCrash exactly once, with
+// that record already durable), then every later write fails with ErrKilled
+// — the dead process gets nothing more onto the disk. The test restarts a
+// coordinator from the same directory and must find exactly the first
+// After records.
+type CrashWriter struct {
+	W       io.Writer
+	After   int
+	OnCrash func()
+
+	mu     sync.Mutex
+	writes int
+}
+
+// Write implements io.Writer.
+func (cw *CrashWriter) Write(p []byte) (int, error) {
+	cw.mu.Lock()
+	if cw.writes >= cw.After {
+		cw.mu.Unlock()
+		return 0, ErrKilled
+	}
+	cw.writes++
+	fire := cw.writes == cw.After
+	cw.mu.Unlock()
+	n, err := cw.W.Write(p)
+	if fire && cw.OnCrash != nil {
+		cw.OnCrash()
+	}
+	return n, err
+}
+
+// Writes reports how many writes reached the underlying writer.
+func (cw *CrashWriter) Writes() int {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.writes
+}
+
+// TornWriter tears the At-th write: only the first KeepBytes bytes reach
+// the underlying writer and the call reports failure — the partial append a
+// power loss leaves mid-record. Writes after the tear fail with ErrKilled
+// (the torn process is gone). The writer under test must either roll the
+// torn tail back or wedge; a replayer must treat the remainder as a torn
+// tail, never as valid records.
+type TornWriter struct {
+	W         io.Writer
+	At        int
+	KeepBytes int
+
+	mu     sync.Mutex
+	writes int
+}
+
+// Write implements io.Writer.
+func (tw *TornWriter) Write(p []byte) (int, error) {
+	tw.mu.Lock()
+	tw.writes++
+	writes := tw.writes
+	tw.mu.Unlock()
+	if writes > tw.At {
+		return 0, ErrKilled
+	}
+	if writes < tw.At {
+		return tw.W.Write(p)
+	}
+	keep := tw.KeepBytes
+	if keep > len(p) {
+		keep = len(p)
+	}
+	n, err := tw.W.Write(p[:keep])
+	if err != nil {
+		return n, err
+	}
+	return n, fmt.Errorf("faultinject: write torn after %d of %d bytes", n, len(p))
+}
+
+// NoSpaceWriter fails writes with ErrNoSpace while broken — the disk that
+// fills up (Break) and is later freed (Heal). Unlike CrashWriter the
+// process lives through it, so the writer under test should degrade,
+// keep serving what it can, and recover on its own after Heal.
+type NoSpaceWriter struct {
+	W io.Writer
+
+	broken  atomic.Bool
+	dropped atomic.Uint64
+}
+
+// Break makes every subsequent write fail with ErrNoSpace.
+func (nw *NoSpaceWriter) Break() { nw.broken.Store(true) }
+
+// Heal restores the writer.
+func (nw *NoSpaceWriter) Heal() { nw.broken.Store(false) }
+
+// Dropped reports how many writes failed while broken.
+func (nw *NoSpaceWriter) Dropped() uint64 { return nw.dropped.Load() }
+
+// Write implements io.Writer.
+func (nw *NoSpaceWriter) Write(p []byte) (int, error) {
+	if nw.broken.Load() {
+		nw.dropped.Add(1)
+		return 0, ErrNoSpace
+	}
+	return nw.W.Write(p)
+}

@@ -104,7 +104,10 @@ func TestClusterMount(t *testing.T) {
 	}
 
 	base := testServer(t, Config{})
-	coord := cluster.New(base.Session().Store(), cluster.Config{Parts: 4})
+	coord, err := cluster.New(base.Session().Store(), cluster.Config{Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s2 := New(base.Session(), Config{Cluster: coord})
 	ts2 := httptest.NewServer(s2.Handler())
 	defer ts2.Close()

@@ -168,6 +168,9 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	if !s.jobsEnabled(w) {
 		return
 	}
+	if s.shedDegraded(w) {
+		return
+	}
 	var req jobCreateRequest
 	if err := decodeStrict(w, r, &req); err != nil {
 		s.reject(w, http.StatusBadRequest, "bad request body: "+err.Error())
@@ -323,6 +326,9 @@ func (s *Server) diskJobStatus(id string) (JobStatus, error) {
 
 func (s *Server) handleJobResume(w http.ResponseWriter, r *http.Request) {
 	if !s.jobsEnabled(w) {
+		return
+	}
+	if s.shedDegraded(w) {
 		return
 	}
 	id := r.PathValue("id")

@@ -181,8 +181,13 @@ func TestJobLifecycle(t *testing.T) {
 // the final count is exact — no lost and no double-counted embeddings.
 func TestJobInterruptResumeAcrossRestart(t *testing.T) {
 	dir := t.TempDir()
+	// The throttle must stretch the job well past the 10ms checkpoint period
+	// even when the suite starves this test for CPU (a single-core box runs
+	// the busy-wait miners and the Stat poller on the same core): if the job
+	// completes before the plug is pulled, clean completion removes the
+	// snapshot and there is nothing left to interrupt.
 	throttle := func([]uint32) {
-		end := time.Now().Add(20 * time.Microsecond)
+		end := time.Now().Add(200 * time.Microsecond)
 		for time.Now().Before(end) {
 		}
 	}
@@ -204,6 +209,9 @@ func TestJobInterruptResumeAcrossRestart(t *testing.T) {
 	for {
 		if _, err := os.Stat(ckpt); err == nil {
 			break
+		}
+		if _, st := getStatus(t, ts1.URL, "big"); st.State == "done" {
+			t.Fatalf("job completed before it could be interrupted (%+v); the throttle is too light for this machine", st)
 		}
 		if time.Now().After(deadline) {
 			code, st := getStatus(t, ts1.URL, "big")

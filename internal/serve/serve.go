@@ -227,6 +227,19 @@ func (s *Server) reject(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorResponse{Error: msg})
 }
 
+// shedDegraded refuses work-accepting requests (503 + Retry-After) while an
+// attached durable cluster coordinator cannot persist state — no layer of
+// the service should accept work whose bookkeeping would be lost by a crash.
+// Reports whether the request was shed.
+func (s *Server) shedDegraded(w http.ResponseWriter) bool {
+	if s.cfg.Cluster == nil || !s.cfg.Cluster.Degraded() {
+		return false
+	}
+	s.rejected.Add(1)
+	s.cfg.Cluster.RejectDegraded(w, nil)
+	return true
+}
+
 // decodeStrict parses exactly one JSON value from the request body into v:
 // unknown fields and trailing garbage (a second JSON value, stray bytes
 // after the object) are errors, so a malformed client — e.g. one
@@ -257,6 +270,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.reject(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.shedDegraded(w) {
 		return
 	}
 	var req QueryRequest
