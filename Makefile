@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-smoke fuzz experiments examples serve-smoke cluster-smoke chaos fmt fmt-check vet lint lint-fix-check ci clean
+.PHONY: all build test test-short race cover bench bench-json bench-smoke fuzz experiments examples serve-smoke cluster-smoke stream-smoke chaos fmt fmt-check vet lint lint-fix-check ci clean
 
 all: build test lint
 
@@ -27,7 +27,7 @@ bench:
 # Machine-readable engine benchmark cells (scheduler scaling + set-kernel +
 # symmetry-breaking ablations) — tracked across PRs in BENCH_engine.json.
 bench-json:
-	$(GO) run ./cmd/ohmbench -exp sched,kern,sym -json BENCH_engine.json
+	$(GO) run ./cmd/ohmbench -exp sched,kern,sym,stream -json BENCH_engine.json
 
 # Fast correctness gate over the kernel and symmetry-breaking ablations:
 # runs the reduced-size grids and fails on any count disagreement between
@@ -41,6 +41,7 @@ fuzz:
 	$(GO) test -fuzz FuzzLoad -fuzztime 30s ./internal/dal
 	$(GO) test -fuzz FuzzIntersectKernels -fuzztime 30s ./internal/intset
 	$(GO) test -fuzz FuzzPlanVerify -fuzztime 30s ./internal/engine
+	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime 30s ./internal/stream
 
 # Regenerate the paper's tables and figures (minutes; see EXPERIMENTS.md).
 experiments:
@@ -72,14 +73,24 @@ serve-smoke:
 cluster-smoke:
 	$(GO) test -count=1 -run TestClusterSmoke ./cmd/ohmworker
 
+# End-to-end drill for the streaming subsystem: builds ohmserve with
+# -stream-dir, creates a stream and a standing query over HTTP, feeds
+# sequenced batches while an SSE subscriber is attached, SIGKILLs the
+# server mid-stream, restarts it on the same directory, replays the feed
+# (idempotent acks), and asserts the pushed deltas and final totals equal
+# a from-scratch mine (see docs/STREAMING.md). Runs race-instrumented.
+stream-smoke:
+	$(GO) test -race -count=1 -run TestStreamSmoke ./cmd/ohmserve
+
 # Fault-injection chaos drill: kill-at-kth-checkpoint, torn writes, worker
 # panics, full-disk runs, the cluster's kill/zombie scenarios, and the
 # coordinator's own WAL crash/restart (kill-after-kth-record and torn
 # append) must all recover (or refuse) with exact counts,
 # race-instrumented, on both scheduler paths (see docs/ROBUSTNESS.md and
-# docs/DISTRIBUTED.md).
+# docs/DISTRIBUTED.md). The stream leg crashes a snapshotting miner
+# mid-feed and resumes it from the last durable snapshot.
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos' ./internal/engine ./internal/cluster
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/engine ./internal/cluster ./internal/stream
 
 fmt:
 	gofmt -w .
@@ -101,8 +112,8 @@ lint-fix-check:
 
 # The full local gate: formatting, vet, ohmlint + suppression audit, the
 # race-enabled tests, the end-to-end smokes (query service + distributed
-# cluster), and the cross-kernel count agreement smoke.
-ci: fmt-check vet lint lint-fix-check race serve-smoke cluster-smoke chaos bench-smoke
+# cluster + streaming), and the cross-kernel count agreement smoke.
+ci: fmt-check vet lint lint-fix-check race serve-smoke cluster-smoke stream-smoke chaos bench-smoke
 
 clean:
 	$(GO) clean ./...

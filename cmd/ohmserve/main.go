@@ -56,6 +56,9 @@ func run() error {
 		debugDelay = flag.Duration("debug-delay", 0, "inject artificial latency per query (drain/smoke testing only)")
 		ckptDir    = flag.String("checkpoint-dir", "", "enable durable jobs (/jobs endpoints): persist specs and snapshots here")
 		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Second, "snapshot period for jobs")
+		streamDir  = flag.String("stream-dir", "", "enable the streaming subsystem (/streams endpoints): persist stream specs and snapshots here")
+		streamSnap = flag.Int("stream-snapshot-every", 1, "stream snapshot cadence in applied batches (1 = every batch, the strongest durability)")
+		streamBuf  = flag.Int("stream-buf-events", 0, "per-subscriber event buffer before slow-consumer drops (0 = 64)")
 		clusterOn  = flag.Bool("cluster", false, "run as distributed-mining coordinator (/cluster endpoints; pair with ohmworker)")
 		parts      = flag.Int("cluster-parts", 16, "task partitions per distributed job (more parts = finer reassignment granularity)")
 		leaseTTL   = flag.Duration("lease-ttl", 10*time.Second, "cluster lease deadline: a worker missing heartbeats this long forfeits its task")
@@ -95,14 +98,25 @@ func run() error {
 		}
 	}
 	cfg := serve.Config{
-		MaxConcurrent:   *maxConc,
-		DefaultTimeout:  *timeout,
-		MaxTimeout:      *maxTimeout,
-		MaxLimit:        *maxLimit,
-		Workers:         *workers,
-		DebugDelay:      *debugDelay,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
+		MaxConcurrent:       *maxConc,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTimeout,
+		MaxLimit:            *maxLimit,
+		Workers:             *workers,
+		DebugDelay:          *debugDelay,
+		CheckpointDir:       *ckptDir,
+		CheckpointEvery:     *ckptEvery,
+		StreamDir:           *streamDir,
+		StreamSnapshotEvery: *streamSnap,
+		StreamBufEvents:     *streamBuf,
+	}
+	if *streamDir != "" {
+		if err := os.MkdirAll(*streamDir, 0o755); err != nil {
+			return fmt.Errorf("stream dir: %w", err)
+		}
+		// The stream smoke test parses this line.
+		fmt.Fprintf(os.Stderr, "ohmserve: streams durable in %s (snapshot every %d batches)\n",
+			*streamDir, *streamSnap)
 	}
 	if *clusterOn {
 		coord, err := cluster.New(store, cluster.Config{
@@ -135,6 +149,10 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "ohmserve: listening on %s\n", ln.Addr())
 
 	hs := &http.Server{Handler: srv.Handler()}
+	// Long-lived event subscriptions (SSE) would hold Shutdown open past
+	// its drain budget; disconnect them as soon as the drain begins.
+	// Subscribers reconnect with ?after=N and lose nothing.
+	hs.RegisterOnShutdown(srv.DisconnectStreams)
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 

@@ -1,15 +1,15 @@
-// Streaming collaboration monitoring — the dynamic-hypergraph extension:
-// a coauthorship network receives batches of new papers, and after each
-// batch the incremental miner reports how many new occurrences of a
-// collaboration pattern the batch created, without recounting the old
-// network. A motif census then fingerprints the final network.
+// Streaming collaboration monitoring — the streaming subsystem: a
+// coauthorship network receives batches of new papers while old papers age
+// out of a sliding relevance window, and a standing query reports after
+// each batch exactly how many collaboration chains appeared and
+// disappeared, without recounting the old network. A motif census then
+// fingerprints the final network.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
-	"time"
 
 	"ohminer"
 )
@@ -30,42 +30,46 @@ func main() {
 		return batch
 	}
 
-	miner, err := ohminer.NewDynamicMiner(numAuthors, newPapers(400))
+	// Papers stay relevant for 4 batches, then expire from the window.
+	miner, err := ohminer.NewStreamMiner(ohminer.StreamConfig{
+		NumVertices: numAuthors,
+		Window:      4,
+	})
 	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := miner.ApplyBatch(ohminer.StreamBatch{Seq: 1, Add: newPapers(400)}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("initial network:", miner.Hypergraph())
 
-	// The pattern: a 3-paper collaboration chain.
+	// The standing query: a 3-paper collaboration chain. Registering mines
+	// the baseline; every batch then pushes an exact delta event.
 	chain, err := ohminer.ParsePattern("0 1; 1 2; 2 3")
 	if err != nil {
 		log.Fatal(err)
 	}
-	total, err := miner.TotalCount(chain)
+	q, err := miner.RegisterQuery(chain)
 	if err != nil {
 		log.Fatal(err)
 	}
-	running := total.Ordered
-	fmt.Printf("collaboration chains at start: %d unique\n", total.Unique)
+	fmt.Printf("collaboration chains at start: %d unique\n", q.Unique)
 
-	for batch := 1; batch <= 3; batch++ {
-		if err := miner.ApplyBatch(newPapers(60)); err != nil {
-			log.Fatal(err)
-		}
-		delta, err := miner.DeltaCount(chain)
+	for batch := 2; batch <= 5; batch++ {
+		res, err := miner.ApplyBatch(ohminer.StreamBatch{Seq: uint64(batch), Add: newPapers(60)})
 		if err != nil {
 			log.Fatal(err)
 		}
-		running += delta.Ordered
-		fmt.Printf("batch %d: +%d papers → +%d new chains in %v (running total %d ordered)\n",
-			batch, miner.NumNewEdges(), delta.Unique, delta.Elapsed.Round(time.Millisecond), running)
+		d := res.Deltas[0]
+		fmt.Printf("batch %d: +%d papers, %d expired → +%d −%d chains (total %d unique)\n",
+			batch, res.Added, res.Expired, d.AddedUnique, d.RetiredUnique, d.Unique)
 		// The incremental count must agree with a full recount.
 		full, err := miner.TotalCount(chain)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if full.Ordered != running {
-			log.Fatalf("incremental drift: %d vs %d", running, full.Ordered)
+		if full.Ordered != d.Total {
+			log.Fatalf("incremental drift: %d vs %d", d.Total, full.Ordered)
 		}
 	}
 

@@ -1,0 +1,204 @@
+// Incremental DAL maintenance for the streaming subsystem: BuildDelta grows
+// an existing store by the hyperedges a batch appended instead of re-running
+// the full offline preprocessing pass. The resulting store is
+// field-for-field identical to Build on the extended hypergraph
+// (differential-tested in delta_test.go); only the work is different —
+// neighbor discovery runs for the new edges alone, untouched adjacency
+// segments, group tables, and container windows are copied from the previous
+// store, and only segments that gained a neighbor are re-sorted and
+// re-planned.
+package dal
+
+import (
+	"sort"
+	"time"
+
+	"ohminer/internal/hypergraph"
+	"ohminer/internal/intset"
+)
+
+// BuildDelta constructs the DAL for h, which must extend prev's hypergraph:
+// edges [0, prev.NumEdges()) are unchanged (same vertex sets, hence same
+// degrees) and any further edges are new. This is the contract
+// hypergraph.Extend provides. prev is not modified and remains valid — a
+// concurrent reader mining the old store is unaffected. A nil prev falls
+// back to a full Build.
+func BuildDelta(prev *Store, h *hypergraph.Hypergraph) *Store {
+	if prev == nil {
+		return Build(h)
+	}
+	m0 := prev.h.NumEdges()
+	m := h.NumEdges()
+	if m == m0 {
+		return prev
+	}
+	start := time.Now()
+	s := &Store{h: h}
+
+	less := func(a, b uint32) bool {
+		da, db := h.Degree(a), h.Degree(b)
+		if da != db {
+			return da < db
+		}
+		return a < b
+	}
+
+	// Neighbor discovery for the new edges only. Existing edges' vertex sets
+	// are immutable, so the only adjacency changes anywhere in the store are
+	// (a) the new edges' own lists and (b) new IDs inserted into the lists of
+	// the old edges they overlap — collected in ins while scanning.
+	mark := make([]uint32, m)
+	stamp := uint32(0)
+	newNbr := make([][]uint32, m-m0)
+	ins := make(map[uint32][]uint32)
+	for e := m0; e < m; e++ {
+		stamp++
+		var nbr []uint32
+		for _, v := range h.EdgeVertices(uint32(e)) {
+			for _, o := range h.VertexEdges(v) {
+				if o == uint32(e) || mark[o] == stamp {
+					continue
+				}
+				mark[o] = stamp
+				nbr = append(nbr, o)
+				if o < uint32(m0) {
+					ins[o] = append(ins[o], uint32(e))
+				}
+			}
+		}
+		sort.Slice(nbr, func(i, j int) bool { return less(nbr[i], nbr[j]) })
+		newNbr[e-m0] = nbr
+	}
+	for _, lst := range ins {
+		sort.Slice(lst, func(i, j int) bool { return less(lst[i], lst[j]) })
+	}
+
+	affected := make([]bool, m)
+	for e := m0; e < m; e++ {
+		affected[e] = true
+	}
+	for o := range ins {
+		affected[o] = true
+	}
+
+	s.adjOff = make([]uint32, m+1)
+	for e := 0; e < m0; e++ {
+		s.adjOff[e+1] = s.adjOff[e] + uint32(prev.NumNeighbors(uint32(e))+len(ins[uint32(e)]))
+	}
+	for e := m0; e < m; e++ {
+		s.adjOff[e+1] = s.adjOff[e] + uint32(len(newNbr[e-m0]))
+	}
+	s.adj = make([]uint32, s.adjOff[m])
+
+	s.grpOff = make([]uint32, m+1)
+	s.grpDeg = make([]uint32, 0, len(prev.grpDeg))
+	s.grpStart = make([]uint32, 0, len(prev.grpStart))
+	for e := 0; e < m; e++ {
+		dst := s.adj[s.adjOff[e]:s.adjOff[e+1]]
+		if e < m0 {
+			old := prev.Adj(uint32(e))
+			add := ins[uint32(e)]
+			if len(add) == 0 {
+				// Untouched segment: bytes and group table carry over, with
+				// the absolute group starts rebased to the new adj offsets.
+				copy(dst, old)
+				shift := s.adjOff[e] - prev.adjOff[e]
+				for k := prev.grpOff[e]; k < prev.grpOff[e+1]; k++ {
+					s.grpDeg = append(s.grpDeg, prev.grpDeg[k])
+					s.grpStart = append(s.grpStart, prev.grpStart[k]+shift)
+				}
+				s.grpOff[e+1] = uint32(len(s.grpDeg))
+				continue
+			}
+			// Merge the new neighbors into the (degree, id)-sorted segment;
+			// old entries keep their relative order because old degrees are
+			// unchanged.
+			i, j, k := 0, 0, 0
+			for i < len(old) && j < len(add) {
+				if less(old[i], add[j]) {
+					dst[k] = old[i]
+					i++
+				} else {
+					dst[k] = add[j]
+					j++
+				}
+				k++
+			}
+			k += copy(dst[k:], old[i:])
+			copy(dst[k:], add[j:])
+		} else {
+			copy(dst, newNbr[e-m0])
+		}
+		base := s.adjOff[e]
+		for i := 0; i < len(dst); {
+			d := h.Degree(dst[i])
+			s.grpDeg = append(s.grpDeg, uint32(d))
+			s.grpStart = append(s.grpStart, base+uint32(i))
+			for i < len(dst) && h.Degree(dst[i]) == d {
+				i++
+			}
+		}
+		s.grpOff[e+1] = uint32(len(s.grpDeg))
+	}
+
+	s.buildDegreeIndex()
+	s.buildContainersDelta(prev, affected)
+	s.buildTime = time.Since(start)
+	return s
+}
+
+// buildContainersDelta is buildContainers with reuse: adjacency windows of
+// unaffected edges are copied out of prev's arena (their groups are
+// byte-identical, only the arena offsets move), and the vertex-set arena —
+// which never changes for an existing edge — is copied wholesale with new
+// edges' windows appended.
+func (s *Store) buildContainersDelta(prev *Store, affected []bool) {
+	m := s.h.NumEdges()
+	m0 := prev.h.NumEdges()
+
+	s.grpWinOff = make([]uint32, len(s.grpDeg)+1)
+	s.grpWinBase = make([]uint32, len(s.grpDeg))
+	s.winWords = make([]uint64, 0, len(prev.winWords))
+	for e := 0; e < m; e++ {
+		if e < m0 && !affected[e] {
+			pk0, pk1 := prev.grpOff[e], prev.grpOff[e+1]
+			k0 := s.grpOff[e]
+			w0, w1 := prev.grpWinOff[pk0], prev.grpWinOff[pk1]
+			for i := uint32(0); i < pk1-pk0; i++ {
+				s.grpWinOff[k0+i] = uint32(len(s.winWords)) + (prev.grpWinOff[pk0+i] - w0)
+				s.grpWinBase[k0+i] = prev.grpWinBase[pk0+i]
+			}
+			s.winWords = append(s.winWords, prev.winWords[w0:w1]...)
+			continue
+		}
+		for k := s.grpOff[e]; k < s.grpOff[e+1]; k++ {
+			s.grpWinOff[k] = uint32(len(s.winWords))
+			grp := s.groupSlice(uint32(e), k)
+			if base, nw, lo, hi, ok := intset.PlanWords(grp); ok {
+				s.grpWinBase[k] = base
+				start := len(s.winWords)
+				s.winWords = append(s.winWords, make([]uint64, nw)...)
+				intset.FillWords(s.winWords[start:], base, grp[lo:hi])
+			}
+		}
+	}
+	s.grpWinOff[len(s.grpDeg)] = uint32(len(s.winWords))
+
+	s.evOff = make([]uint32, m+1)
+	s.evBase = make([]uint32, m)
+	copy(s.evOff, prev.evOff[:m0+1])
+	copy(s.evBase, prev.evBase)
+	s.evWords = make([]uint64, len(prev.evWords), len(prev.evWords)+(m-m0))
+	copy(s.evWords, prev.evWords)
+	for e := m0; e < m; e++ {
+		s.evOff[e] = uint32(len(s.evWords))
+		verts := s.h.EdgeVertices(uint32(e))
+		if base, nw, lo, hi, ok := intset.PlanWords(verts); ok {
+			s.evBase[e] = base
+			start := len(s.evWords)
+			s.evWords = append(s.evWords, make([]uint64, nw)...)
+			intset.FillWords(s.evWords[start:], base, verts[lo:hi])
+		}
+	}
+	s.evOff[m] = uint32(len(s.evWords))
+}

@@ -65,7 +65,7 @@ func Experiments() []Experiment {
 }
 
 func expOrder(id string) int {
-	order := []string{"fig3", "fig12", "table5", "fig13", "fig14", "fig15", "fig16", "fig17a", "fig17b", "table6", "sched", "kern", "sym", "ckpt"}
+	order := []string{"fig3", "fig12", "table5", "fig13", "fig14", "fig15", "fig16", "fig17a", "fig17b", "table6", "sched", "kern", "sym", "ckpt", "stream"}
 	for i, x := range order {
 		if x == id {
 			return i

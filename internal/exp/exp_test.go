@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig3", "fig12", "table5", "fig13", "fig14", "fig15", "fig16", "fig17a", "fig17b", "table6", "sched", "kern", "sym", "ckpt", "extras", "taxonomy"}
+	want := []string{"fig3", "fig12", "table5", "fig13", "fig14", "fig15", "fig16", "fig17a", "fig17b", "table6", "sched", "kern", "sym", "ckpt", "stream", "extras", "taxonomy"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(got), len(want))

@@ -1,0 +1,108 @@
+// Stream-snapshot fault points: the same failure classes the checkpoint
+// sinks model (process killed right after a durable write, torn non-atomic
+// write, full disk), retargeted at the streaming subsystem's OHMT
+// snapshots so its exactly-once resume gets the identical chaos treatment.
+// The sinks are generic over the snapshot type: internal/stream imports
+// internal/engine, which this package's other fault points serve, so a
+// direct dependency here would cycle through the engine's chaos tests.
+// Instantiate as e.g. StreamCrashSink[*stream.Snapshot] and the method set
+// satisfies stream.Sink exactly.
+package faultinject
+
+import (
+	"os"
+	"sync"
+)
+
+// SnapshotSink is the shape of stream.Sink with the snapshot type held
+// abstract (see the package comment for why).
+type SnapshotSink[S any] interface {
+	WriteSnapshot(s S) (int64, error)
+}
+
+// SnapshotMarshaler is the subset of the snapshot API the torn sink needs.
+type SnapshotMarshaler interface {
+	Marshal() ([]byte, error)
+	WriteFile(path string) (int64, error)
+}
+
+// StreamCrashSink forwards stream snapshots to Inner and invokes OnCrash
+// exactly once, right after the After-th successful write — the moment a
+// real streaming server would be SIGKILLed with its freshest snapshot
+// already durable. Writes after the crash point keep succeeding.
+type StreamCrashSink[S any] struct {
+	Inner   SnapshotSink[S]
+	After   int
+	OnCrash func()
+
+	mu     sync.Mutex
+	writes int
+}
+
+// WriteSnapshot implements stream.Sink.
+func (cs *StreamCrashSink[S]) WriteSnapshot(s S) (int64, error) {
+	n, err := cs.Inner.WriteSnapshot(s)
+	if err != nil {
+		return n, err
+	}
+	cs.mu.Lock()
+	cs.writes++
+	fire := cs.writes == cs.After
+	cs.mu.Unlock()
+	if fire && cs.OnCrash != nil {
+		cs.OnCrash()
+	}
+	return n, nil
+}
+
+// Writes reports the number of successful snapshot writes so far.
+func (cs *StreamCrashSink[S]) Writes() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.writes
+}
+
+// StreamTornSink persists stream snapshots to Path like stream.FileSink,
+// except the TearAt-th and later writes are torn: only the first TearBytes
+// bytes reach the file, written in place with no temp+rename discipline —
+// the corruption a non-atomic writer leaves behind on power loss.
+type StreamTornSink[S SnapshotMarshaler] struct {
+	Path      string
+	TearAt    int
+	TearBytes int
+
+	mu     sync.Mutex
+	writes int
+}
+
+// WriteSnapshot implements stream.Sink.
+func (ts *StreamTornSink[S]) WriteSnapshot(s S) (int64, error) {
+	ts.mu.Lock()
+	ts.writes++
+	tear := ts.writes >= ts.TearAt
+	ts.mu.Unlock()
+	if !tear {
+		return s.WriteFile(ts.Path)
+	}
+	b, err := s.Marshal()
+	if err != nil {
+		return 0, err
+	}
+	if ts.TearBytes < len(b) {
+		b = b[:ts.TearBytes]
+	}
+	if err := os.WriteFile(ts.Path, b, 0o644); err != nil {
+		return 0, err
+	}
+	return int64(len(b)), nil
+}
+
+// StreamNoSpaceSink models ENOSPC for stream snapshots: every write fails
+// with ErrNoSpace. Applied state stays correct in memory; durability (and
+// the ack it gates) is what suffers.
+type StreamNoSpaceSink[S any] struct{}
+
+// WriteSnapshot implements stream.Sink.
+func (StreamNoSpaceSink[S]) WriteSnapshot(S) (int64, error) {
+	return 0, ErrNoSpace
+}

@@ -1,0 +1,113 @@
+package hypergraph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrExtendLabeled is returned when Extend is asked to grow an
+// edge-labeled hypergraph; the streaming subsystem that drives Extend is
+// unlabeled-edge only.
+var ErrExtendLabeled = errors.New("hypergraph: cannot extend an edge-labeled hypergraph")
+
+// Extend returns a new hypergraph equal to h plus the given hyperedges
+// appended, with IDs continuing from h.NumEdges() — the incremental growth
+// step of the streaming subsystem. Unlike Build it does not re-normalize or
+// re-hash the existing edges: the caller (internal/stream keeps a content
+// index across batches) guarantees each new edge is sorted, duplicate-free,
+// non-empty, within the vertex universe, and not a duplicate of any existing
+// edge; violations of the locally checkable invariants are reported as
+// errors, cross-edge uniqueness is the caller's contract. h itself is not
+// modified; per-vertex labels (a property of the fixed vertex universe) are
+// shared with the result. Extending a nil hypergraph builds the initial one.
+func Extend(h *Hypergraph, edges [][]uint32) (*Hypergraph, error) {
+	if h != nil && h.EdgeLabeled() {
+		return nil, ErrExtendLabeled
+	}
+	if len(edges) == 0 {
+		if h == nil {
+			return nil, ErrEmpty
+		}
+		return h, nil
+	}
+	var (
+		numVertices int
+		oldEdges    int
+		oldVerts    []uint32
+	)
+	if h != nil {
+		numVertices = h.NumVertices()
+		oldEdges = h.NumEdges()
+		oldVerts = h.edgeVerts
+	}
+	extra := 0
+	for _, e := range edges {
+		if len(e) == 0 {
+			return nil, errors.New("hypergraph: extend with empty hyperedge")
+		}
+		for i, v := range e {
+			if i > 0 && e[i-1] >= v {
+				return nil, fmt.Errorf("hypergraph: extend edge not sorted/deduped at vertex %d", v)
+			}
+			if int(v) >= numVertices {
+				return nil, fmt.Errorf("hypergraph: vertex %d out of range [0,%d)", v, numVertices)
+			}
+		}
+		extra += len(e)
+	}
+
+	out := &Hypergraph{}
+	if h != nil {
+		out.labels = h.labels
+		out.numLabels = h.numLabels
+	}
+
+	// Edge CSR: old arrays copied, new edges appended.
+	out.edgeOff = make([]uint32, oldEdges+len(edges)+1)
+	if h != nil {
+		copy(out.edgeOff, h.edgeOff)
+	}
+	out.edgeVerts = make([]uint32, 0, len(oldVerts)+extra)
+	out.edgeVerts = append(out.edgeVerts, oldVerts...)
+	for i, e := range edges {
+		out.edgeVerts = append(out.edgeVerts, e...)
+		out.edgeOff[oldEdges+i+1] = uint32(len(out.edgeVerts))
+	}
+
+	// Vertex CSR: every new edge has a larger ID than every old one, so each
+	// vertex's incident list is its old (sorted) segment followed by the new
+	// IDs in batch order — a copy plus appends, no sorting.
+	counts := make([]uint32, numVertices+1)
+	for v := 0; v < numVertices; v++ {
+		if h != nil {
+			counts[v+1] = uint32(h.VertexDegree(uint32(v)))
+		}
+	}
+	for _, e := range edges {
+		for _, v := range e {
+			counts[v+1]++
+		}
+	}
+	for v := 1; v <= numVertices; v++ {
+		counts[v] += counts[v-1]
+	}
+	out.vertOff = counts
+	out.vertEdges = make([]uint32, len(oldVerts)+extra)
+	cursor := make([]uint32, numVertices)
+	copy(cursor, out.vertOff[:numVertices])
+	if h != nil {
+		for v := 0; v < numVertices; v++ {
+			seg := h.VertexEdges(uint32(v))
+			copy(out.vertEdges[cursor[v]:], seg)
+			cursor[v] += uint32(len(seg))
+		}
+	}
+	for i, e := range edges {
+		id := uint32(oldEdges + i)
+		for _, v := range e {
+			out.vertEdges[cursor[v]] = id
+			cursor[v]++
+		}
+	}
+	return out, nil
+}

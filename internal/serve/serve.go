@@ -62,6 +62,21 @@ type Config struct {
 	// endpoints (/cluster, /cluster/jobs, and the worker lease protocol) on
 	// this server — ohmserve's -cluster mode. Nil serves single-node only.
 	Cluster *cluster.Coordinator
+	// StreamDir enables the streams subsystem (POST /streams): stream
+	// specs and rolling snapshots are persisted there so streams survive a
+	// restart. Empty disables /streams.
+	StreamDir string
+	// StreamSnapshotEvery is the snapshot cadence in applied batches
+	// (0 = every batch — the strongest durability, and what makes a
+	// feeder's ack imply its batch survives a SIGKILL).
+	StreamSnapshotEvery int
+	// StreamBufEvents bounds each event subscriber's buffer; a subscriber
+	// that falls further behind has events dropped (and counted) rather
+	// than stalling batch application (0 = 64).
+	StreamBufEvents int
+	// StreamRing bounds the per-query event ring kept for reconnect
+	// backfill (?after=N) (0 = 256).
+	StreamRing int
 
 	// debugOnEmbedding throttles job mining per embedding. Test hook (the
 	// interrupt/resume tests need runs that outlast a checkpoint period);
@@ -82,6 +97,15 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 5 * time.Second
 	}
+	if c.StreamSnapshotEvery <= 0 {
+		c.StreamSnapshotEvery = 1
+	}
+	if c.StreamBufEvents <= 0 {
+		c.StreamBufEvents = 64
+	}
+	if c.StreamRing <= 0 {
+		c.StreamRing = 256
+	}
 	return c
 }
 
@@ -97,6 +121,13 @@ type Server struct {
 	abortCtx  context.Context
 	abortStop context.CancelFunc
 
+	// drainCtx is cancelled by DisconnectStreams to close long-lived
+	// event subscriptions (SSE, parked long-polls). These would otherwise
+	// hold http.Server.Shutdown open forever, so the binary registers
+	// DisconnectStreams via RegisterOnShutdown.
+	drainCtx  context.Context
+	drainStop context.CancelFunc
+
 	queries     expvar.Int // admitted queries
 	rejected    expvar.Int // refused before mining (bad request, full queue)
 	errors      expvar.Int // queries that failed after admission
@@ -111,6 +142,20 @@ type Server struct {
 	jobs   map[string]*job // guarded by jobsMu
 	jobSeq atomic.Uint64
 	jobWG  sync.WaitGroup
+
+	// Streams subsystem (enabled by Config.StreamDir; see stream.go).
+	streamMu  sync.Mutex
+	streams   map[string]*srvStream // guarded by streamMu
+	streamSeq atomic.Uint64
+
+	streamsCreated       expvar.Int // streams created via POST /streams
+	streamsReloaded      expvar.Int // streams lazily reloaded from StreamDir
+	streamBatches        expvar.Int // batches applied (fresh, counted once)
+	streamReplays        expvar.Int // stale batches acked idempotently
+	streamEvents         expvar.Int // delta events delivered to subscribers
+	streamDropped        expvar.Int // delta events dropped (slow consumers)
+	streamSubs           expvar.Int // current event subscribers
+	streamDurabilityErrs expvar.Int // batches applied but not yet durable
 }
 
 // New creates a Server over the session. The first Server created in a
@@ -120,12 +165,14 @@ type Server struct {
 func New(sess *ohminer.Session, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		sess: sess,
-		cfg:  cfg,
-		sem:  make(chan struct{}, cfg.MaxConcurrent),
-		jobs: map[string]*job{},
+		sess:    sess,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		jobs:    map[string]*job{},
+		streams: map[string]*srvStream{},
 	}
 	s.abortCtx, s.abortStop = context.WithCancel(context.Background())
+	s.drainCtx, s.drainStop = context.WithCancel(context.Background())
 	m := new(expvar.Map).Init()
 	m.Set("queries", &s.queries)
 	m.Set("rejected", &s.rejected)
@@ -134,6 +181,14 @@ func New(sess *ohminer.Session, cfg Config) *Server {
 	m.Set("in_flight", &s.inFlight)
 	m.Set("jobs", &s.jobsStarted)
 	m.Set("jobs_resumed", &s.jobsResumed)
+	m.Set("streams", &s.streamsCreated)
+	m.Set("streams_reloaded", &s.streamsReloaded)
+	m.Set("stream_batches", &s.streamBatches)
+	m.Set("stream_batches_replayed", &s.streamReplays)
+	m.Set("stream_events", &s.streamEvents)
+	m.Set("stream_events_dropped", &s.streamDropped)
+	m.Set("stream_subscribers", &s.streamSubs)
+	m.Set("stream_durability_errors", &s.streamDurabilityErrs)
 	m.Set("cache_hits", expvar.Func(func() any { h, _ := sess.CacheStats(); return h }))
 	m.Set("cache_misses", expvar.Func(func() any { _, mi := sess.CacheStats(); return mi }))
 	m.Set("cached_plans", expvar.Func(func() any { return sess.CachedPlans() }))
@@ -163,12 +218,22 @@ func publish(m *expvar.Map) {
 // that wait exceeds the drain budget.
 func (s *Server) Abort() { s.abortStop() }
 
+// DisconnectStreams closes every open event subscription (SSE streams and
+// parked long-polls). Subscribers are push-only and lossless to reconnect
+// (?after=N backfills), so this is safe to call at the start of a graceful
+// shutdown — typically via http.Server.RegisterOnShutdown — where the open
+// connections would otherwise hold Shutdown past its drain budget.
+func (s *Server) DisconnectStreams() { s.drainStop() }
+
 // Session returns the underlying query session.
 func (s *Server) Session() *ohminer.Session { return s.sess }
 
 // Handler returns the service mux: POST /query, the jobs endpoints
 // (GET /jobs, POST /jobs, GET /jobs/{id}, POST /jobs/{id}/resume — 503
-// unless Config.CheckpointDir is set), the cluster coordinator endpoints
+// unless Config.CheckpointDir is set), the streams endpoints
+// (POST /streams, GET /streams/{id}, POST /streams/{id}/batches,
+// POST /streams/{id}/queries, GET /streams/{id}/queries/{qid}/events —
+// 503 unless Config.StreamDir is set), the cluster coordinator endpoints
 // when Config.Cluster is set (GET /cluster, POST /cluster/jobs, and the
 // worker lease protocol), GET /healthz, GET /debug/vars (expvar), and the
 // net/http/pprof endpoints under /debug/pprof/.
@@ -179,6 +244,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs", s.handleJobCreate)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("POST /jobs/{id}/resume", s.handleJobResume)
+	mux.HandleFunc("POST /streams", s.handleStreamCreate)
+	mux.HandleFunc("GET /streams/{id}", s.handleStreamStatus)
+	mux.HandleFunc("POST /streams/{id}/batches", s.handleStreamBatch)
+	mux.HandleFunc("POST /streams/{id}/queries", s.handleStreamQueryCreate)
+	mux.HandleFunc("GET /streams/{id}/queries/{qid}/events", s.handleStreamEvents)
 	if s.cfg.Cluster != nil {
 		s.cfg.Cluster.Register(mux)
 	}

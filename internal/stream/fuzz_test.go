@@ -1,0 +1,72 @@
+package stream
+
+import (
+	"testing"
+
+	"ohminer/internal/pattern"
+)
+
+// FuzzSnapshotDecode drives arbitrary bytes through the OHMT snapshot
+// decoder: it must never panic, refuse torn and mutated inputs with an
+// error, and any input it does accept must re-marshal, re-decode, and Load
+// cleanly — the decoder defines the format, so acceptance implies validity.
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed with real snapshots so the fuzzer starts from the valid format.
+	empty, err := NewMiner(Config{NumVertices: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	b, err := empty.SnapshotState().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+
+	m, err := NewMiner(Config{NumVertices: 10, Window: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := m.RegisterQuery(pattern.MustNew([][]uint32{{0, 1}, {1, 2}}, nil)); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := m.ApplyBatch(Batch{Add: [][]uint32{{0, 1}, {1, 2}, {2, 3, 4}}}); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := m.ApplyBatch(Batch{Add: [][]uint32{{5, 6}}, Retire: [][]uint32{{0, 1}}}); err != nil {
+		f.Fatal(err)
+	}
+	b, err = m.SnapshotState().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+	f.Add(b[:len(b)/2]) // torn tail
+	f.Add([]byte{})
+	f.Add([]byte("OHMT"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Unmarshal(data)
+		if err != nil {
+			return // rejection is always fine; panics are not
+		}
+		// Accepted input must be fully well-formed: semantic validation,
+		// re-encoding, and a full miner load must all succeed.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("decoded snapshot fails Validate: %v", err)
+		}
+		enc, err := s.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		s2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if s2.Epoch != s.Epoch || len(s2.Edges) != len(s.Edges) || len(s2.Queries) != len(s.Queries) {
+			t.Fatalf("re-decode drifted: %+v vs %+v", s2, s)
+		}
+		if _, err := Load(s, Config{}); err != nil {
+			t.Fatalf("accepted snapshot fails Load: %v", err)
+		}
+	})
+}

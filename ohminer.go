@@ -22,7 +22,6 @@ import (
 
 	"ohminer/internal/checkpoint"
 	"ohminer/internal/dal"
-	"ohminer/internal/dynamic"
 	"ohminer/internal/engine"
 	"ohminer/internal/gen"
 	"ohminer/internal/hypergraph"
@@ -30,6 +29,7 @@ import (
 	"ohminer/internal/motif"
 	"ohminer/internal/oig"
 	"ohminer/internal/pattern"
+	"ohminer/internal/stream"
 )
 
 // Re-exported core types. The implementations live in internal packages;
@@ -363,21 +363,75 @@ func FrequentMotifs(entries []MotifEntry, minUnique uint64) []MotifEntry {
 // similarity of their frequency vectors.
 func MotifSimilarity(a, b []MotifEntry) (float64, error) { return motif.Profile(a, b) }
 
+// StreamMiner is the streaming subsystem: a batch log with windowed
+// deletion, incremental derived-state maintenance, standing queries with
+// per-batch delta events, and checkpoint/resume. See internal/stream and
+// docs/STREAMING.md.
+type StreamMiner = stream.Miner
+
+// StreamConfig configures a StreamMiner.
+type StreamConfig = stream.Config
+
+// StreamBatch is one applied batch: hyperedge additions and retirements.
+type StreamBatch = stream.Batch
+
+// StreamBatchResult is what applying one batch produced.
+type StreamBatchResult = stream.BatchResult
+
+// StreamDelta is one standing query's per-batch delta event.
+type StreamDelta = stream.Delta
+
+// StreamQueryInfo describes one registered standing query.
+type StreamQueryInfo = stream.QueryInfo
+
+// StreamSnapshot is a decoded durable stream snapshot.
+type StreamSnapshot = stream.Snapshot
+
+// StreamSink receives durable stream snapshots (StreamConfig.Snapshot).
+type StreamSink = stream.Sink
+
+// StreamFileSink persists every stream snapshot atomically to Path.
+type StreamFileSink = stream.FileSink
+
+// NewStreamMiner opens a streaming miner over an empty hypergraph.
+func NewStreamMiner(cfg StreamConfig) (*StreamMiner, error) { return stream.NewMiner(cfg) }
+
+// LoadStreamMiner resumes a streaming miner from a snapshot file written by
+// its snapshot sink; cumulative query counts continue exactly where the
+// snapshot left them.
+func LoadStreamMiner(path string, cfg StreamConfig) (*StreamMiner, error) {
+	return stream.LoadFile(path, cfg)
+}
+
 // DynamicMiner maintains a hypergraph growing by hyperedge batches and
-// answers incremental queries (embeddings created by the latest batch) —
-// the streaming extension.
+// answers incremental queries (embeddings created by the latest batch).
+//
+// Deprecated: DynamicMiner is the append-only predecessor of the streaming
+// subsystem and is kept as a thin compatibility wrapper over StreamMiner.
+// New code should use NewStreamMiner, which adds retirement windows,
+// standing queries, push delivery, and checkpoint/resume.
 type DynamicMiner struct {
-	m *dynamic.Miner
+	m       *StreamMiner
+	lastNew int
 }
 
 // DynamicDelta is an incremental query result.
-type DynamicDelta = dynamic.Delta
+type DynamicDelta struct {
+	// Ordered/Unique count the embeddings that include at least one
+	// hyperedge of the latest batch.
+	Ordered uint64
+	Unique  uint64
+	Elapsed time.Duration
+}
 
 // NewDynamicMiner starts an incremental mining session from an initial
 // hypergraph.
 func NewDynamicMiner(numVertices int, initial [][]uint32) (*DynamicMiner, error) {
-	m, err := dynamic.NewMiner(numVertices, initial)
+	m, err := stream.NewMiner(stream.Config{NumVertices: numVertices})
 	if err != nil {
+		return nil, err
+	}
+	if _, err := m.ApplyBatch(stream.Batch{Add: initial}); err != nil {
 		return nil, err
 	}
 	return &DynamicMiner{m: m}, nil
@@ -385,7 +439,14 @@ func NewDynamicMiner(numVertices int, initial [][]uint32) (*DynamicMiner, error)
 
 // ApplyBatch inserts new hyperedges; previously assigned hyperedge IDs stay
 // stable and duplicates are absorbed.
-func (d *DynamicMiner) ApplyBatch(batch [][]uint32) error { return d.m.ApplyBatch(batch) }
+func (d *DynamicMiner) ApplyBatch(batch [][]uint32) error {
+	res, err := d.m.ApplyBatch(stream.Batch{Add: batch})
+	if err != nil {
+		return err
+	}
+	d.lastNew = res.Added
+	return nil
+}
 
 // Hypergraph returns the current hypergraph.
 func (d *DynamicMiner) Hypergraph() *Hypergraph { return d.m.Hypergraph() }
@@ -394,10 +455,10 @@ func (d *DynamicMiner) Hypergraph() *Hypergraph { return d.m.Hypergraph() }
 func (d *DynamicMiner) Store() *Store { return d.m.Store() }
 
 // Epoch returns the number of batches applied after the initial one.
-func (d *DynamicMiner) Epoch() int { return d.m.Epoch() }
+func (d *DynamicMiner) Epoch() int { return int(d.m.Epoch()) - 1 }
 
 // NumNewEdges returns the deduplicated size of the latest batch.
-func (d *DynamicMiner) NumNewEdges() int { return d.m.NumNewEdges() }
+func (d *DynamicMiner) NumNewEdges() int { return d.lastNew }
 
 // DeltaCount counts embeddings of p that use at least one hyperedge of the
 // latest batch: total(after) = total(before) + delta.
@@ -406,7 +467,13 @@ func (d *DynamicMiner) DeltaCount(p *Pattern, opts ...Option) (DynamicDelta, err
 	if err != nil {
 		return DynamicDelta{}, err
 	}
-	return d.m.DeltaCount(p, o)
+	d.m.SetEngineOptions(o)
+	start := time.Now()
+	sd, err := d.m.LatestDelta(p)
+	if err != nil {
+		return DynamicDelta{}, err
+	}
+	return DynamicDelta{Ordered: sd.Added, Unique: sd.AddedUnique, Elapsed: time.Since(start)}, nil
 }
 
 // TotalCount mines the full current hypergraph.
@@ -415,7 +482,8 @@ func (d *DynamicMiner) TotalCount(p *Pattern, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return d.m.TotalCount(p, o)
+	d.m.SetEngineOptions(o)
+	return d.m.TotalCount(p)
 }
 
 // CountEstimate is an approximate embedding count with its standard error.

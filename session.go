@@ -29,9 +29,12 @@ const DefaultResultCacheCapacity = 256
 //   - a bounded LRU result cache over complete counting runs: a repeat of a
 //     query whose options do not observe per-run state (no limit, no
 //     embedding callback, no checkpointing, no instrumentation) returns the
-//     cached Result without touching the engine. The store is immutable, so
-//     cached counts never go stale; cached results keep their original
-//     Elapsed and Stats.
+//     cached Result without touching the engine. Each store build is
+//     immutable, so a cached count never silently goes stale; results are
+//     additionally keyed by the dataset's content fingerprint, so swapping
+//     the session onto a new store version with SetStore invalidates them
+//     implicitly — and swapping back to identical content revalidates them.
+//     Cached results keep their original Elapsed and Stats.
 //
 // Plans are compiled from the canonical pattern, so WithEmbeddings
 // callbacks through a Session report hyperedge IDs in the canonical plan's
@@ -40,7 +43,7 @@ const DefaultResultCacheCapacity = 256
 //
 // Sessions are safe for concurrent use.
 type Session struct {
-	store *Store
+	st atomic.Pointer[storeState]
 
 	mu    sync.Mutex
 	plans map[sessionKey]*planEntry
@@ -49,12 +52,20 @@ type Session struct {
 	misses atomic.Uint64
 
 	rmu      sync.Mutex
-	results  map[sessionKey]*list.Element
+	results  map[resultKey]*list.Element
 	lru      *list.List
 	capacity int
 
 	rhits   atomic.Uint64
 	rmisses atomic.Uint64
+}
+
+// storeState pairs a store with its dataset fingerprint so both swap
+// atomically under SetStore: a concurrent query either sees the old pair or
+// the new pair, never a store keyed under the wrong dataset version.
+type storeState struct {
+	store *Store
+	fp    uint64
 }
 
 // sessionKey identifies one compiled plan: the pattern's identity (canonical
@@ -81,17 +92,42 @@ type planEntry struct {
 
 // NewSession creates a query session over the store.
 func NewSession(store *Store) *Session {
-	return &Session{
-		store:    store,
+	s := &Session{
 		plans:    map[sessionKey]*planEntry{},
-		results:  map[sessionKey]*list.Element{},
+		results:  map[resultKey]*list.Element{},
 		lru:      list.New(),
 		capacity: DefaultResultCacheCapacity,
 	}
+	s.st.Store(newStoreState(store))
+	return s
 }
 
-// Store returns the session's store.
-func (s *Session) Store() *Store { return s.store }
+func newStoreState(store *Store) *storeState {
+	ss := &storeState{store: store}
+	if store != nil {
+		ss.fp = store.Hypergraph().Fingerprint()
+	}
+	return ss
+}
+
+// Store returns the session's current store.
+func (s *Session) Store() *Store { return s.st.Load().store }
+
+// SetStore repoints the session at a new store version — the streaming
+// subsystem's compaction and reload paths, or any dataset refresh, produce
+// these. The plan cache is retained (plans are compiled from the pattern;
+// store-derived hints are advisory), while cached results stop matching
+// automatically because they are keyed under the previous dataset
+// fingerprint: a swap to different content misses, a swap back to
+// byte-identical content hits again. In-flight queries complete against
+// whichever store they started on.
+func (s *Session) SetStore(store *Store) {
+	s.st.Store(newStoreState(store))
+}
+
+// DatasetFingerprint returns the content hash of the session's current
+// dataset — the value result-cache entries are keyed under.
+func (s *Session) DatasetFingerprint() uint64 { return s.st.Load().fp }
 
 // Mine runs a query, reusing a cached plan (and, for pure counting queries,
 // a cached result) when one exists for the pattern's isomorphism class. All
@@ -111,21 +147,25 @@ func (s *Session) MineContext(ctx context.Context, p *Pattern, opts ...Option) (
 	if err != nil {
 		return Result{}, err
 	}
-	plan, key, err := s.plan(p, o)
+	// One atomic load pins this query to a single (store, fingerprint)
+	// pair; a concurrent SetStore cannot split the run across versions.
+	cur := s.st.Load()
+	plan, key, err := s.plan(p, o, cur.store)
 	if err != nil {
 		return Result{}, err
 	}
 	if !resultCacheable(o) {
-		return engine.MineWithPlanContext(ctx, s.store, plan, o)
+		return engine.MineWithPlanContext(ctx, cur.store, plan, o)
 	}
-	if res, ok := s.lookupResult(key); ok {
+	rkey := resultKey{sessionKey: key, fp: cur.fp}
+	if res, ok := s.lookupResult(rkey); ok {
 		return res, nil
 	}
-	res, err := engine.MineWithPlanContext(ctx, s.store, plan, o)
+	res, err := engine.MineWithPlanContext(ctx, cur.store, plan, o)
 	if err == nil && !res.Truncated {
 		// Only complete, successful runs are reusable answers; a partial
 		// count (deadline, cancellation) must never shadow the real one.
-		s.storeResult(key, res)
+		s.storeResult(rkey, res)
 	}
 	return res, err
 }
@@ -143,11 +183,12 @@ func (s *Session) ResumeContext(ctx context.Context, p *Pattern, snap *Checkpoin
 	if err != nil {
 		return Result{}, err
 	}
-	plan, _, err := s.plan(p, o)
+	cur := s.st.Load()
+	plan, _, err := s.plan(p, o, cur.store)
 	if err != nil {
 		return Result{}, err
 	}
-	return engine.ResumeWithPlanContext(ctx, s.store, plan, snap, o)
+	return engine.ResumeWithPlanContext(ctx, cur.store, plan, snap, o)
 }
 
 // CachedPlans reports how many distinct plans the session holds.
@@ -190,7 +231,7 @@ func (s *Session) SetResultCacheCapacity(n int) {
 
 // plan returns the compiled plan for (p, o) and its cache key, compiling at
 // most once per key across concurrent callers.
-func (s *Session) plan(p *Pattern, o engine.Options) (*Plan, sessionKey, error) {
+func (s *Session) plan(p *Pattern, o engine.Options, store *Store) (*Plan, sessionKey, error) {
 	mode := oig.ModeMerged
 	if o.Val == engine.ValOverlapSimple {
 		mode = oig.ModeSimple
@@ -234,7 +275,7 @@ func (s *Session) plan(p *Pattern, o engine.Options) (*Plan, sessionKey, error) 
 				cp = c
 			}
 		}
-		e.plan, e.err = engine.CompilePlan(s.store, cp, o)
+		e.plan, e.err = engine.CompilePlan(store, cp, o)
 	})
 	if compiled {
 		s.misses.Add(1)
@@ -266,14 +307,23 @@ func resultCacheable(o engine.Options) bool {
 		o.PositionFilter == nil && !o.Instrument
 }
 
+// resultKey is the result cache identity: the plan-cache key plus the
+// dataset fingerprint the result was computed against. Entries for stale
+// dataset versions stop matching the moment SetStore installs new content
+// and age out of the LRU naturally.
+type resultKey struct {
+	sessionKey
+	fp uint64
+}
+
 // resultEntry is one LRU slot; the key rides along for map cleanup on
 // eviction.
 type resultEntry struct {
-	key sessionKey
+	key resultKey
 	res Result
 }
 
-func (s *Session) lookupResult(key sessionKey) (Result, bool) {
+func (s *Session) lookupResult(key resultKey) (Result, bool) {
 	s.rmu.Lock()
 	defer s.rmu.Unlock()
 	if el, ok := s.results[key]; ok {
@@ -285,7 +335,7 @@ func (s *Session) lookupResult(key sessionKey) (Result, bool) {
 	return Result{}, false
 }
 
-func (s *Session) storeResult(key sessionKey, res Result) {
+func (s *Session) storeResult(key resultKey, res Result) {
 	s.rmu.Lock()
 	defer s.rmu.Unlock()
 	if s.capacity <= 0 {

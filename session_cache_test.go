@@ -166,3 +166,79 @@ func TestSessionSingleflightCompile(t *testing.T) {
 		t.Errorf("hits+misses %d+%d, want %d", hits, misses, goroutines)
 	}
 }
+
+// TestSessionSetStoreInvalidatesResults: cached results are keyed by
+// dataset fingerprint, so swapping the session onto a new store version
+// stops serving counts mined from the old content — the stale-cache bug a
+// streaming deployment would otherwise hit every compaction. Swapping back
+// to byte-identical content hits again, and the plan cache survives every
+// swap.
+func TestSessionSetStoreInvalidatesResults(t *testing.T) {
+	s, p := sessionFixture(t)
+	// Without the third edge the fixture pattern has no match at all, so the
+	// two datasets provably disagree on the count.
+	edges := [][]uint32{
+		{0, 1, 2, 3, 4, 5},
+		{3, 4, 5, 6, 7, 8},
+	}
+	hSmall, err := BuildHypergraph(15, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSame, err := BuildHypergraph(15, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1, err := s.Mine(p, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Mine(p, WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := s.ResultCacheStats(); hits != 1 {
+		t.Fatalf("warmup hits %d, want 1", hits)
+	}
+	fpBig := s.DatasetFingerprint()
+
+	// Different content: the cached result must not answer.
+	s.SetStore(NewStore(hSmall))
+	if s.DatasetFingerprint() == fpBig {
+		t.Fatal("fingerprint unchanged across different content")
+	}
+	r2, err := s.Mine(p, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := s.ResultCacheStats(); hits != 1 {
+		t.Fatalf("stale result served after SetStore (hits %d)", hits)
+	}
+	if r2.Ordered == r1.Ordered {
+		t.Fatalf("counts identical across datasets (%d) — fixture needs different content", r2.Ordered)
+	}
+	plansBefore := s.CachedPlans()
+	if plansBefore == 0 {
+		t.Fatal("plan cache emptied by SetStore")
+	}
+
+	// Byte-identical content under a different build: same fingerprint,
+	// cache hit, no engine run.
+	s.SetStore(NewStore(hSame))
+	if s.DatasetFingerprint() == fpBig {
+		t.Fatal("distinct datasets share a fingerprint")
+	}
+	r3, err := s.Mine(p, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := s.ResultCacheStats(); hits != 2 {
+		t.Fatalf("identical content missed the cache (hits %d)", hits)
+	}
+	if r3.Ordered != r2.Ordered {
+		t.Fatalf("identical content, different counts: %d vs %d", r3.Ordered, r2.Ordered)
+	}
+	if s.CachedPlans() != plansBefore {
+		t.Fatalf("plan cache changed across identical-content swap")
+	}
+}
